@@ -1,0 +1,26 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Expected shape: disabling address folding hurts most; dead-argument
+elimination matters on call-heavy code; every ablated pipeline stays
+functionally correct (asserted inside run_ablation)."""
+
+import os
+
+import pytest
+
+from repro.evaluation import ABLATIONS, run_ablation
+
+_NAMES = ("hmmer", "mcf") if not os.environ.get("REPRO_FULL_EVAL") \
+    else ("hmmer", "mcf", "gcc", "sjeng", "bzip2")
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_ablation(benchmark, name):
+    report = run_ablation(name)
+    print(f"\n{report.render()}")
+    ratios = report.ratios()
+    for ablation, ratio in ratios.items():
+        benchmark.extra_info[ablation] = round(ratio, 3)
+    # The full pipeline must not lose to disabling address folding.
+    assert ratios["full"] <= ratios["no-addr-folding"] + 0.02  # folding never hurts
+    benchmark(lambda: ratios)

@@ -1,0 +1,55 @@
+"""Pipeline-stage wall-time benches: tracing, lifting, refinement,
+lowering.  These measure the toolchain itself (not the paper's runtime
+metric) and watch for pathological slowdowns in the implementation."""
+
+import pytest
+
+from repro.cc import compile_source
+from repro.emu import trace_binary
+from repro.core.driver import wytiwyg_lift
+from repro.lifting import lift_traces
+from repro.opt import OptOptions, optimize_module
+from repro.recompile import LowerOptions, recompile_ir
+SOURCE = r"""
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int sum(int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }
+int main() {
+    int arr[8];
+    int i;
+    for (i = 0; i < 8; i++) arr[i] = i * 3;
+    printf("fib=%d sum=%d\n", fib(9), sum(arr, 8));
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_source(SOURCE, "gcc12", "3", "bench")
+
+
+@pytest.fixture(scope="module")
+def traces(image):
+    return trace_binary(image.stripped(), [[]])
+
+
+def test_bench_tracing(benchmark, image):
+    benchmark(lambda: trace_binary(image.stripped(), [[]]))
+
+
+def test_bench_lifting(benchmark, traces):
+    benchmark(lambda: lift_traces(traces))
+
+
+def test_bench_refinement_pipeline(benchmark, traces):
+    benchmark(lambda: wytiwyg_lift(traces))
+
+
+def test_bench_optimize_and_lower(benchmark, traces):
+    module, _, _ = wytiwyg_lift(traces)
+
+    def lower():
+        import copy
+        optimize_module(module, OptOptions.o2())
+        return recompile_ir(module, LowerOptions(frame_pointer=False))
+    benchmark.pedantic(lower, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""repro — a full-system reproduction of *What You Trace is What You
+Get: Dynamic Stack-Layout Recovery for Binary Recompilation* (Parzefall
+et al., ASPLOS 2024).
+
+The package contains every layer the paper's system needs, built from
+scratch:
+
+========================  ====================================================
+``repro.isa``             32-bit x86-like ISA: assembler, encoder, disassembler
+``repro.binary``          binary image container (sections, imports, debug)
+``repro.emu``             machine emulator, control-flow tracer, libc model
+``repro.cc``              MiniC compiler with toolchain personalities
+``repro.ir``              compiler-level IR, verifier, interpreter
+``repro.opt``             optimizer (mem2reg, GVN, DCE, inlining, ...)
+``repro.lifting``         trace-based lifter (the BinRec analogue)
+``repro.core``            **WYTIWYG**: refinement lifting & stack symbolization
+``repro.baselines``       BinRec (no-symbolize) and SecondWrite (static)
+``repro.recompile``       IR -> machine backend shared by compiler & recompiler
+``repro.workloads``       the SPECint-2006-like benchmark suite
+``repro.evaluation``      Table 1 / Figure 6 / Figure 7 harnesses
+========================  ====================================================
+
+Quickstart::
+
+    from repro import compile_source, run_binary, wytiwyg_recompile
+
+    image = compile_source(C_SOURCE, compiler="gcc12", opt_level="3")
+    native = run_binary(image, inputs)
+    result = wytiwyg_recompile(image, [inputs])
+    recovered = run_binary(result.recovered, inputs)
+    assert recovered.stdout == native.stdout
+"""
+
+from .baselines import binrec_recompile, secondwrite_recompile
+from .binary import BinaryImage
+from .cc import compile_source, compile_to_ir, personality
+from .core import WytiwygResult, wytiwyg_lift, wytiwyg_recompile
+from .emu import run_binary, trace_binary
+from .errors import ReproError
+from .lifting import lift_binary, lift_traces
+from .recompile import recompile_ir
+from .workloads import WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryImage", "ReproError", "WORKLOADS", "WytiwygResult",
+    "__version__", "binrec_recompile", "compile_source", "compile_to_ir",
+    "lift_binary", "lift_traces", "personality", "recompile_ir",
+    "run_binary", "secondwrite_recompile", "trace_binary",
+    "wytiwyg_lift", "wytiwyg_recompile",
+]

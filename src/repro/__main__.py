@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the toolchain a downstream user needs:
+
+* ``compile``   MiniC source -> binary image (JSON container)
+* ``run``       execute a binary image on inputs
+* ``recompile`` WYTIWYG-recompile a binary image (or ``--pipeline
+  binrec`` / ``secondwrite``)
+* ``layout``    print the stack layout WYTIWYG recovers for a binary
+* ``eval``      regenerate the paper's tables and figures
+
+Inputs are passed as ``--input int:N bytes:TEXT ...``; a ``/`` item
+separates multiple runs (e.g. ``--input int:1 / int:2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines import binrec_recompile, secondwrite_recompile
+from .binary import BinaryImage
+from .cc import compile_source
+from .core import wytiwyg_recompile
+from .emu import run_binary
+
+
+def _parse_inputs(spec: list[str]) -> list[list]:
+    """['int:3', 'bytes:abc', '/', 'int:9'] -> [[3, b'abc'], [9]]."""
+    runs: list[list] = [[]]
+    for item in spec:
+        if item == "/":
+            runs.append([])
+        elif item.startswith("int:"):
+            runs[-1].append(int(item[4:], 0))
+        elif item.startswith("bytes:"):
+            runs[-1].append(item[6:].encode())
+        else:
+            raise SystemExit(f"bad input spec {item!r} "
+                             f"(use int:N, bytes:TEXT, or /)")
+    return runs
+
+
+def cmd_compile(args) -> int:
+    source = Path(args.source).read_text()
+    image = compile_source(source, args.compiler, args.opt_level,
+                           Path(args.source).stem)
+    Path(args.output).write_text(image.to_json())
+    print(f"compiled {args.source} [{args.compiler} -O{args.opt_level}] "
+          f"-> {args.output} ({len(image.text.data)} text bytes)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    image = BinaryImage.from_json(Path(args.image).read_text())
+    runs = _parse_inputs(args.input)
+    for items in runs:
+        result = run_binary(image, items)
+        sys.stdout.write(result.stdout.decode("latin-1"))
+        print(f"[exit {result.exit_code}, {result.cycles} cycles]")
+    return 0
+
+
+def cmd_recompile(args) -> int:
+    image = BinaryImage.from_json(Path(args.image).read_text())
+    runs = _parse_inputs(args.input)
+    if args.pipeline == "wytiwyg":
+        result = wytiwyg_recompile(image, runs)
+        recovered = result.recovered
+        for note in result.notes:
+            print(f"  {note}")
+        if result.fallback:
+            print("  (fell back to the unsymbolized pipeline)")
+    elif args.pipeline == "binrec":
+        recovered = binrec_recompile(image.stripped(), runs)
+    else:
+        recovered = secondwrite_recompile(image.stripped()).recovered
+    Path(args.output).write_text(recovered.to_json())
+    print(f"recompiled [{args.pipeline}] -> {args.output}")
+    return 0
+
+
+def cmd_layout(args) -> int:
+    image = BinaryImage.from_json(Path(args.image).read_text())
+    runs = _parse_inputs(args.input)
+    result = wytiwyg_recompile(image, runs, optimize=False)
+    for name, layout in sorted(result.layouts.items()):
+        if not layout.variables:
+            continue
+        print(f"{name}:")
+        for var in layout.variables:
+            print(f"  [{var.start:6d}, {var.end:6d})  "
+                  f"{var.end - var.start:4d} bytes  align {var.align}")
+    if result.accuracy is not None:
+        acc = result.accuracy
+        print(f"accuracy vs ground truth: {acc.counts} "
+              f"(P={acc.precision:.0%} R={acc.recall:.0%})")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from examples.run_paper_eval import main as eval_main  # pragma: no cover
+    return eval_main(["--full"] if args.full else [])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC to a binary image")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default="a.img.json")
+    p.add_argument("--compiler", default="gcc12",
+                   choices=("gcc12", "gcc44", "clang16"))
+    p.add_argument("--opt-level", default="3", choices=("0", "3"))
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a binary image")
+    p.add_argument("image")
+    p.add_argument("--input", nargs="*", default=[])
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("recompile", help="lift and recompile an image")
+    p.add_argument("image")
+    p.add_argument("-o", "--output", default="recovered.img.json")
+    p.add_argument("--pipeline", default="wytiwyg",
+                   choices=("wytiwyg", "binrec", "secondwrite"))
+    p.add_argument("--input", nargs="*", default=[])
+    p.set_defaults(func=cmd_recompile)
+
+    p = sub.add_parser("layout", help="print recovered stack layouts")
+    p.add_argument("image")
+    p.add_argument("--input", nargs="*", default=[])
+    p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser("eval", help="regenerate the paper's evaluation")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_eval)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Comparison pipelines: BinRec (no symbolization) and SecondWrite
+(static heuristic symbolization)."""
+
+from .binrec import binrec_lift, binrec_recompile
+from .secondwrite import (
+    SecondWriteError,
+    SecondWriteResult,
+    secondwrite_lift,
+    secondwrite_recompile,
+    static_cfg,
+)
+
+__all__ = [
+    "SecondWriteError", "SecondWriteResult", "binrec_lift",
+    "binrec_recompile", "secondwrite_lift", "secondwrite_recompile",
+    "static_cfg",
+]

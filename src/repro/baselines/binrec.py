@@ -1,0 +1,40 @@
+"""The BinRec baseline: lift, optimize, recompile — no symbolization.
+
+This is Table 1's "no symbolize" configuration: the recompiled program
+still runs its original stack inside the emulated-stack byte array, which
+is exactly what limits the optimizer (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from ..binary.image import BinaryImage
+from ..emu.tracer import TraceSet, trace_binary
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..lifting.translator import lift_traces
+from ..opt.pipeline import OptOptions, optimize_module
+from ..recompile.link import recompile_ir
+from ..recompile.lower import LowerOptions
+
+
+def binrec_lift(traces: TraceSet, optimize: bool = True) -> Module:
+    """Lift merged traces and run the standard optimization pipeline."""
+    module = lift_traces(traces)
+    verify_module(module)
+    if optimize:
+        optimize_module(module, OptOptions(level=2, inline=True,
+                                           inline_threshold=30, rounds=2))
+        verify_module(module)
+    module.metadata["pipeline"] = "binrec"
+    return module
+
+
+def binrec_recompile(image: BinaryImage,
+                     inputs: list[list[int | bytes]],
+                     optimize: bool = True) -> BinaryImage:
+    """End-to-end BinRec: trace, lift, optimize, lower, link."""
+    traces = trace_binary(image, inputs)
+    module = binrec_lift(traces, optimize)
+    return recompile_ir(
+        module, LowerOptions(frame_pointer=False),
+        metadata={**image.metadata, "pipeline": "binrec"})

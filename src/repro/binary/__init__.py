@@ -1,0 +1,18 @@
+"""Binary image container: sections, imports, symbols, debug ground truth."""
+
+from .image import (
+    HEAP_BASE,
+    HEAP_SIZE,
+    STACK_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    BinaryImage,
+    FrameGroundTruth,
+    Section,
+    StackObject,
+)
+
+__all__ = [
+    "BinaryImage", "FrameGroundTruth", "HEAP_BASE", "HEAP_SIZE", "Section",
+    "STACK_SIZE", "STACK_TOP", "StackObject", "TEXT_BASE",
+]

@@ -1,0 +1,14 @@
+"""The MiniC compiler (frontend + personalities + driver)."""
+
+from .ast_nodes import TranslationUnit
+from .driver import compile_source, compile_to_ir
+from .frontend import LIBC_PROTOS, Frontend, lower_to_ir
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+from .personalities import PAPER_CONFIGS, Personality, personality
+
+__all__ = [
+    "Frontend", "LIBC_PROTOS", "PAPER_CONFIGS", "Parser", "Personality",
+    "Token", "TranslationUnit", "compile_source", "compile_to_ir",
+    "lower_to_ir", "parse", "personality", "tokenize",
+]

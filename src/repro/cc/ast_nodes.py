@@ -1,0 +1,221 @@
+"""AST node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ctypes import CType
+
+
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit(Node):
+    value: bytes
+    line: int = 0
+
+
+@dataclass
+class Ident(Node):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Unary(Node):
+    op: str  # "-" "!" "~" "*" "&" "++" "--"
+    operand: Node = None
+    line: int = 0
+
+
+@dataclass
+class Postfix(Node):
+    op: str  # "++" "--"
+    operand: Node = None
+    line: int = 0
+
+
+@dataclass
+class Binary(Node):
+    op: str
+    lhs: Node = None
+    rhs: Node = None
+    line: int = 0
+
+
+@dataclass
+class Assign(Node):
+    op: str  # "=", "+=", ...
+    target: Node = None
+    value: Node = None
+    line: int = 0
+
+
+@dataclass
+class Ternary(Node):
+    cond: Node = None
+    if_true: Node = None
+    if_false: Node = None
+    line: int = 0
+
+
+@dataclass
+class Call(Node):
+    callee: Node = None
+    args: list[Node] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Index(Node):
+    base: Node = None
+    index: Node = None
+    line: int = 0
+
+
+@dataclass
+class Member(Node):
+    base: Node = None
+    name: str = ""
+    arrow: bool = False
+    line: int = 0
+
+
+@dataclass
+class SizeofExpr(Node):
+    operand: Node = None
+    line: int = 0
+
+
+@dataclass
+class SizeofType(Node):
+    ctype: CType = None
+    line: int = 0
+
+
+@dataclass
+class Cast(Node):
+    ctype: CType = None
+    operand: Node = None
+    line: int = 0
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Optional[Node] = None
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    ctype: CType = None
+    init: Optional[Node | list] = None  # expr, nested list, or StrLit
+    static: bool = False
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Node):
+    decls: list[VarDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Block(Node):
+    stmts: list[Node] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then: Node = None
+    otherwise: Optional[Node] = None
+    line: int = 0
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: Node = None
+    line: int = 0
+
+
+@dataclass
+class DoWhile(Node):
+    body: Node = None
+    cond: Node = None
+    line: int = 0
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None        # ExprStmt or DeclStmt
+    cond: Optional[Node] = None
+    step: Optional[Node] = None
+    body: Node = None
+    line: int = 0
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+    line: int = 0
+
+
+@dataclass
+class Break(Node):
+    line: int = 0
+
+
+@dataclass
+class Continue(Node):
+    line: int = 0
+
+
+@dataclass
+class CaseLabel(Node):
+    value: Optional[int] = None  # None for default
+    line: int = 0
+
+
+@dataclass
+class Switch(Node):
+    expr: Node = None
+    body: list[Node] = field(default_factory=list)  # stmts + CaseLabels
+    line: int = 0
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    ret: CType = None
+    params: list[tuple[str, CType]] = field(default_factory=list)
+    body: Optional[Block] = None  # None for a prototype
+    static: bool = False
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit(Node):
+    decls: list[Node] = field(default_factory=list)  # FuncDef | VarDecl
+    line: int = 0

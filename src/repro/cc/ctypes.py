@@ -1,0 +1,190 @@
+"""MiniC type system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+
+
+class CType:
+    """Base class of MiniC types."""
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        return min(self.size, 4) or 1
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """An integer type of ``width`` bytes; chars are signed by default."""
+
+    width: int = 4
+    signed: bool = True
+
+    @property
+    def size(self) -> int:
+        return self.width
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        prefix = "" if self.signed else "unsigned "
+        return prefix + {1: "char", 2: "short", 4: "int"}[self.width]
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PtrType(CType):
+    pointee: CType
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    count: int
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    def __repr__(self) -> str:
+        return f"{self.element!r}[{self.count}]"
+
+
+@dataclass
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+@dataclass
+class StructType(CType):
+    name: str
+    fields: list[StructField] = field(default_factory=list)
+    complete: bool = False
+    _size: int = 0
+
+    @property
+    def size(self) -> int:
+        if not self.complete:
+            raise CompileError(f"use of incomplete struct {self.name}")
+        return self._size
+
+    @property
+    def align(self) -> int:
+        return max((f.ctype.align for f in self.fields), default=1)
+
+    def lay_out(self, fields: list[tuple[str, CType]]) -> None:
+        offset = 0
+        for name, ctype in fields:
+            align = ctype.align
+            offset = (offset + align - 1) & ~(align - 1)
+            self.fields.append(StructField(name, ctype, offset))
+            offset += ctype.size
+        align = self.align
+        self._size = (offset + align - 1) & ~(align - 1)
+        self.complete = True
+
+    def field_named(self, name: str) -> StructField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise CompileError(f"struct {self.name} has no field {name!r}")
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+@dataclass(frozen=True)
+class FuncType(CType):
+    ret: CType
+    params: tuple[CType, ...]
+    vararg: bool = False
+
+    @property
+    def size(self) -> int:
+        return 4  # decays to a pointer
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.params)
+        if self.vararg:
+            params += ", ..."
+        return f"{self.ret!r}({params})"
+
+
+INT = IntType(4)
+UINT = IntType(4, signed=False)
+CHAR = IntType(1)
+UCHAR = IntType(1, signed=False)
+SHORT = IntType(2)
+USHORT = IntType(2, signed=False)
+VOID = VoidType()
+CHAR_PTR = PtrType(CHAR)
+VOID_PTR = PtrType(VOID)
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer and function-to-pointer decay."""
+    if isinstance(ctype, ArrayType):
+        return PtrType(ctype.element)
+    if isinstance(ctype, FuncType):
+        return PtrType(ctype)
+    return ctype
+
+
+def is_pointerish(ctype: CType) -> bool:
+    return isinstance(decay(ctype), PtrType)
+
+
+def pointee_size(ctype: CType) -> int:
+    """Element size used for pointer arithmetic scaling."""
+    decayed = decay(ctype)
+    if not isinstance(decayed, PtrType):
+        raise CompileError(f"not a pointer: {ctype!r}")
+    target = decayed.pointee
+    if isinstance(target, VoidType):
+        return 1
+    return target.size

@@ -1,0 +1,127 @@
+"""Lexer for MiniC, the C subset the workload programs are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset({
+    "int", "char", "short", "void", "struct", "if", "else", "while", "for",
+    "do", "return", "break", "continue", "sizeof", "switch", "case",
+    "default", "unsigned", "extern", "static", "const",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "ident" | "keyword" | "int" | "char" | "string" | "op" | "eof"
+    text: str
+    value: int | bytes | None
+    line: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}>"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line))
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            tokens.append(Token("int", source[start:i], value, line))
+            continue
+        if ch == "'":
+            i += 1
+            if i < n and source[i] == "\\":
+                esc = source[i + 1]
+                if esc not in _ESCAPES:
+                    raise CompileError(f"bad escape '\\{esc}'", line)
+                value = _ESCAPES[esc]
+                i += 2
+            else:
+                value = ord(source[i])
+                i += 1
+            if i >= n or source[i] != "'":
+                raise CompileError("unterminated char literal", line)
+            i += 1
+            tokens.append(Token("char", f"'{value}'", value, line))
+            continue
+        if ch == '"':
+            i += 1
+            out = bytearray()
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    esc = source[i + 1]
+                    if esc not in _ESCAPES:
+                        raise CompileError(f"bad escape '\\{esc}'", line)
+                    out.append(_ESCAPES[esc])
+                    i += 2
+                else:
+                    out.append(ord(source[i]))
+                    i += 1
+            if i >= n:
+                raise CompileError("unterminated string literal", line)
+            i += 1
+            tokens.append(Token("string", "", bytes(out), line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, None, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,104 @@
+"""Splitting accuracy evaluation (paper §6.3, Figure 7).
+
+Compares recovered frame layouts against the compiler's ground truth
+(the debug section written by :mod:`repro.recompile.lower`, standing in
+for LLVM 16's Stack Frame Layout analysis).  Each ground-truth object in
+a traced function is classified:
+
+* **matched** — a recovered variable with exactly the same byte range;
+* **oversized** — fully covered by a (larger) recovered variable;
+* **undersized** — partially overlapped by recovered variables;
+* **missed** — no overlap at all.
+
+Precision is matched over all recovered variables; recall is matched
+over all ground-truth objects — the paper reports 94.4% / 87.6%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binary.image import BinaryImage, FrameGroundTruth, StackObject
+from .layout import FrameLayout
+
+CATEGORIES = ("matched", "oversized", "undersized", "missed")
+
+#: Ground-truth object kinds considered "allocations" for Figure 7.
+_COUNTED_KINDS = frozenset({"var", "spill"})
+
+
+@dataclass
+class AccuracyReport:
+    counts: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CATEGORIES})
+    total_recovered: int = 0
+    per_function: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_objects(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def recall(self) -> float:
+        total = self.total_objects
+        return self.counts["matched"] / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        if not self.total_recovered:
+            return 0.0
+        return self.counts["matched"] / self.total_recovered
+
+    def ratios(self) -> dict[str, float]:
+        total = self.total_objects or 1
+        return {c: self.counts[c] / total for c in CATEGORIES}
+
+    def merge(self, other: "AccuracyReport") -> None:
+        for c in CATEGORIES:
+            self.counts[c] += other.counts[c]
+        self.total_recovered += other.total_recovered
+        self.per_function.update(other.per_function)
+
+
+def _classify(obj: StackObject, variables) -> str:
+    lo, hi = obj.offset, obj.offset + obj.size
+    overlapping = [v for v in variables
+                   if v.start < hi and lo < v.end]
+    if not overlapping:
+        return "missed"
+    for v in overlapping:
+        if v.start == lo and v.end == hi:
+            return "matched"
+    for v in overlapping:
+        if v.start <= lo and hi <= v.end:
+            return "oversized"
+    return "undersized"
+
+
+def evaluate_accuracy(image: BinaryImage,
+                      layouts: dict[str, FrameLayout]) -> AccuracyReport:
+    """Compare recovered layouts with the input binary's ground truth.
+
+    Only functions present in the lifted module (i.e. traced functions)
+    participate, matching the paper's methodology.
+    """
+    report = AccuracyReport()
+    by_entry: dict[int, FrameGroundTruth] = {
+        g.entry: g for g in image.ground_truth}
+    for name, layout in layouts.items():
+        if not name.startswith("fn_"):
+            continue
+        entry = int(name[3:], 16)
+        truth = by_entry.get(entry)
+        if truth is None:
+            continue
+        per_func = {c: 0 for c in CATEGORIES}
+        for obj in truth.objects:
+            if obj.kind not in _COUNTED_KINDS:
+                continue
+            category = _classify(obj, layout.variables)
+            per_func[category] += 1
+            report.counts[category] += 1
+        report.total_recovered += len(layout.variables)
+        report.per_function[truth.func_name or name] = per_func
+    return report

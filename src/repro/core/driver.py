@@ -1,0 +1,212 @@
+"""The WYTIWYG refinement-lifting driver (paper Figure 4).
+
+Orchestrates the full pipeline:
+
+1. trace the input binary on the user-provided inputs (S2E role);
+2. lift the merged traces to IR (BinRec role);
+3. **refinement: variadic call recovery** (§5.2) — run, inspect format
+   strings, make variadic external calls explicit;
+4. **refinement: register save/argument classification** (§4.1) — run
+   with register symbols, shrink signatures, decouple saved registers
+   from the emulated stack;
+5. canonicalize (SSA for vcpu registers, constant folding) and fold all
+   direct stack references into ``sp0 + offset`` form;
+6. **refinement: object bounds recovery** (§4.2) — instrument with the
+   ``wyt.*`` probes, execute all inputs against the tracing runtime,
+   build frame layouts and signatures, replace base pointers with native
+   allocas, and remove the emulated stack;
+7. optimize the symbolized module with the standard pipeline;
+8. recompile to a new binary.
+
+Every dynamic stage executes the *lifted IR itself* on the same inputs,
+so each refinement consumes exactly the semantics the previous one
+produced — the "what you trace is what you get" guarantee for traced
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binary.image import BinaryImage
+from ..emu.tracer import TraceSet, trace_binary
+from ..errors import SymbolizeError
+from ..ir.interp import Interpreter
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..lifting.translator import lift_traces
+from ..opt.constfold import fold_constants
+from ..opt.dce import eliminate_dead_code
+from ..opt.flagfuse import fuse_flags
+from ..opt.gvn import global_value_numbering
+from ..opt.mem2reg import promote_allocas
+from ..opt.pipeline import OptOptions, optimize_module
+from ..opt.deadargelim import shrink_signatures
+from ..opt.simplifycfg import simplify_cfg
+from ..recompile.link import recompile_ir
+from ..recompile.lower import LowerOptions
+from .accuracy import AccuracyReport, evaluate_accuracy
+from .instrument import instrument_module, strip_probes
+from .layout import FrameLayout, build_layouts
+from .regsave import apply_register_classification, classify_registers
+from .replace import drop_sp_threading, replace_base_pointers
+from .runtime import TracingRuntime
+from .signatures import build_signatures
+from .sp0fold import fold_module_stack_refs
+from .varargs import recover_vararg_calls
+
+
+@dataclass
+class WytiwygResult:
+    """Everything the pipeline produced."""
+
+    module: Module
+    recovered: BinaryImage
+    layouts: dict[str, FrameLayout] = field(default_factory=dict)
+    accuracy: AccuracyReport | None = None
+    #: True if the refined module fell back to the unsymbolized pipeline.
+    fallback: bool = False
+    notes: list[str] = field(default_factory=list)
+
+
+def _canonicalize(module: Module) -> None:
+    """SSA-ify vcpu registers and fold address arithmetic (the paper's
+    "turn virtual CPU registers into SSA-values before instrumentation"
+    plus displacement folding)."""
+    for func in module.functions.values():
+        simplify_cfg(func)
+        promote_allocas(func)
+        fold_constants(func)
+        fuse_flags(func)
+        fold_constants(func)
+        global_value_numbering(func)
+        eliminate_dead_code(func)
+        simplify_cfg(func)
+
+
+def _validate(module: Module, traces: TraceSet) -> bool:
+    """Functional check: the refined module reproduces every traced run."""
+    for input_items, expected in zip(traces.inputs, traces.results):
+        try:
+            result = Interpreter(module, input_items).run()
+        except Exception:
+            return False
+        if result.stdout != expected.stdout or \
+                result.exit_code != expected.exit_code:
+            return False
+    return True
+
+
+def wytiwyg_lift(traces: TraceSet,
+                 validate: bool = True,
+                 hybrid: bool = False) -> tuple[Module,
+                                                dict[str, FrameLayout],
+                                                list[str]]:
+    """Run the refinement pipeline on merged traces; returns the
+    symbolized module, the recovered layouts, and pipeline notes.
+
+    ``hybrid`` enables the paper's §7.2 future-work direction: static
+    disassembly extends coverage along untraced branch directions, and
+    the register classification is widened with the ABI-heuristic static
+    analysis so statically-added paths see sensible signatures.  Traced
+    inputs keep their functional guarantee; nearby untraced paths become
+    best-effort instead of trapping.
+    """
+    notes: list[str] = []
+    module = lift_traces(traces, "wytiwyg", static_extend=hybrid)
+    verify_module(module)
+    if hybrid:
+        notes.append("hybrid: static coverage extension enabled")
+
+    # Refinement: variadic external calls (§5.2).
+    nsites = recover_vararg_calls(module, traces.inputs)
+    if nsites:
+        notes.append(f"varargs: recovered {nsites} call sites")
+    verify_module(module)
+    if validate and not _validate(module, traces):
+        raise SymbolizeError("varargs refinement broke functionality")
+
+    # Refinement: register save/argument classification (§4.1).
+    classification = classify_registers(module, traces.inputs,
+                                        static_augment=hybrid)
+    apply_register_classification(module, classification)
+    verify_module(module)
+    if validate and not _validate(module, traces):
+        raise SymbolizeError("register refinement broke functionality")
+    notes.append(
+        f"regsave: {len(classification.args)} functions classified, "
+        f"{len(classification.indirect_targets)} indirect targets")
+
+    # Canonicalize and identify direct stack references.
+    _canonicalize(module)
+    refs = fold_module_stack_refs(module)
+    notes.append(
+        "sp0fold: "
+        f"{sum(len(r) for r in refs.values())} direct stack references")
+
+    # Refinement: object bounds recovery (§4.2).
+    mi = instrument_module(module)
+    runtime = TracingRuntime()
+    for input_items in traces.inputs:
+        interp = Interpreter(module, input_items,
+                             intrinsic_handler=runtime.handle)
+        runtime.bind(interp)
+        interp.run()
+    strip_probes(module)
+    verify_module(module)
+
+    layouts = build_layouts(runtime, mi)
+    plan = build_signatures(runtime, mi, module)
+    replace_base_pointers(module, mi, layouts, plan, runtime)
+    for func in module.functions.values():
+        eliminate_dead_code(func)
+    drop_sp_threading(module)
+    for func in module.functions.values():
+        eliminate_dead_code(func)
+    shrink_signatures(module)
+    verify_module(module)
+    if validate and not _validate(module, traces):
+        raise SymbolizeError("stack symbolization broke functionality")
+    nvars = sum(len(lo.variables) for lo in layouts.values())
+    notes.append(f"symbolize: {nvars} stack variables, "
+                 f"{sum(plan.stack_args.values())} stack args")
+    module.metadata["pipeline"] = "wytiwyg"
+    return module, layouts, notes
+
+
+def wytiwyg_recompile(image: BinaryImage,
+                      inputs: list[list[int | bytes]],
+                      optimize: bool = True,
+                      collect_accuracy: bool = True,
+                      allow_fallback: bool = True,
+                      hybrid: bool = False) -> WytiwygResult:
+    """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
+    recompile.  Falls back to the unsymbolized (BinRec) pipeline if
+    symbolization fails functional validation."""
+    traces = trace_binary(image, inputs)
+    try:
+        module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid)
+        fallback = False
+    except SymbolizeError as exc:
+        if not allow_fallback:
+            raise
+        from ..baselines.binrec import binrec_lift
+        module = binrec_lift(traces, optimize=False)
+        layouts = {}
+        notes = [f"fallback to unsymbolized pipeline: {exc}"]
+        fallback = True
+
+    if optimize:
+        optimize_module(module, OptOptions.o3())
+        verify_module(module)
+
+    recovered = recompile_ir(
+        module, LowerOptions(frame_pointer=False),
+        metadata={**image.metadata, "pipeline": module.metadata.get(
+            "pipeline", "wytiwyg")})
+
+    accuracy = None
+    if collect_accuracy and not fallback and image.ground_truth:
+        accuracy = evaluate_accuracy(image, layouts)
+    return WytiwygResult(module, recovered, layouts, accuracy,
+                         fallback, notes)

@@ -1,0 +1,137 @@
+"""External function database (paper §5.3).
+
+WYTIWYG cannot lift dynamically linked functions, so it maintains a
+database of known externals: their argument counts (used by the lifter to
+recover operands of non-variadic calls) and a set of *constraints*
+describing their effects on tracked pointers.  The constraint vocabulary
+is the paper's:
+
+* ``ObjectSize(ptr, size, count)`` — the object behind argument ``ptr``
+  is at least ``size * count`` bytes;
+* ``ZeroTerminated(ptr)`` — ``ptr`` points at NUL-terminated data;
+* ``Derive(derived, base)`` — the returned/out pointer refers to the same
+  object as ``base`` (e.g. ``strtok``);
+* ``Clear(ptr, size?)`` — stored stack-pointer metadata inside the object
+  is wiped (e.g. ``memset``);
+* ``Copy(dst, src, size?)`` — stored metadata is copied between objects
+  (e.g. ``memcpy``);
+* ``FormatStr(str, valist)`` — printf-style format describing variadic
+  arguments.
+
+Argument positions are 0-based; ``RET`` denotes the return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Marker for "the return value" in constraint argument positions.
+RET = -1
+
+
+@dataclass(frozen=True)
+class Constraint:
+    kind: str                  # ObjectSize | ZeroTerminated | Derive | ...
+    args: tuple[int, ...]      # argument indices (RET for return value)
+
+
+@dataclass(frozen=True)
+class ExtSig:
+    """Signature + pointer-effect constraints of one external function."""
+
+    name: str
+    nargs: int
+    vararg: bool = False
+    constraints: tuple[Constraint, ...] = ()
+
+    @property
+    def format_arg(self) -> int | None:
+        for c in self.constraints:
+            if c.kind == "FormatStr":
+                return c.args[0]
+        return None
+
+
+def _sig(name: str, nargs: int, vararg: bool = False,
+         constraints: tuple[Constraint, ...] = ()) -> ExtSig:
+    return ExtSig(name, nargs, vararg, constraints)
+
+
+EXTERNAL_DB: dict[str, ExtSig] = {
+    sig.name: sig for sig in [
+        _sig("printf", 1, vararg=True, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+            Constraint("FormatStr", (0,)),
+        )),
+        _sig("sprintf", 2, vararg=True, constraints=(
+            Constraint("ZeroTerminated", (1,)),
+            Constraint("FormatStr", (1,)),
+            Constraint("Clear", (0,)),
+        )),
+        _sig("puts", 1, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+        )),
+        _sig("putchar", 1),
+        _sig("memcpy", 3, constraints=(
+            Constraint("ObjectSize", (0, 2)),
+            Constraint("ObjectSize", (1, 2)),
+            Constraint("Copy", (0, 1, 2)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("memmove", 3, constraints=(
+            Constraint("ObjectSize", (0, 2)),
+            Constraint("ObjectSize", (1, 2)),
+            Constraint("Copy", (0, 1, 2)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("memset", 3, constraints=(
+            Constraint("ObjectSize", (0, 2)),
+            Constraint("Clear", (0, 2)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("memcmp", 3, constraints=(
+            Constraint("ObjectSize", (0, 2)),
+            Constraint("ObjectSize", (1, 2)),
+        )),
+        _sig("strlen", 1, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+        )),
+        _sig("strcpy", 2, constraints=(
+            Constraint("ZeroTerminated", (1,)),
+            Constraint("Clear", (0,)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("strcmp", 2, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+            Constraint("ZeroTerminated", (1,)),
+        )),
+        _sig("strcat", 2, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+            Constraint("ZeroTerminated", (1,)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("strtok", 2, constraints=(
+            Constraint("ZeroTerminated", (1,)),
+            Constraint("Derive", (RET, 0)),
+        )),
+        _sig("atoi", 1, constraints=(
+            Constraint("ZeroTerminated", (0,)),
+        )),
+        _sig("malloc", 1),
+        _sig("calloc", 2),
+        _sig("free", 1),
+        _sig("exit", 1),
+        _sig("abs", 1),
+        _sig("rand", 0),
+        _sig("srand", 1),
+        _sig("read_int", 0),
+        _sig("read_buf", 2, constraints=(
+            Constraint("ObjectSize", (0, 1)),
+            Constraint("Clear", (0, 1)),
+        )),
+    ]
+}
+
+#: Variadic externals, whose call sites need the §5.2 refinement.
+VARARG_FUNCTIONS = frozenset(
+    name for name, sig in EXTERNAL_DB.items() if sig.vararg)

@@ -1,0 +1,185 @@
+"""Stack layout construction (paper §4.2, "Object Bounds Recovery").
+
+Takes the per-base-pointer intervals and linked pairs collected by the
+tracing runtime and partitions each function's frame into variables:
+
+* each defined base pointer contributes the absolute interval
+  ``[offset + low, offset + high)``;
+* overlapping intervals merge; linked pairs merge when both have defined
+  bounds (paper §4.2.4);
+* base pointers with undefined bounds attach to a variable via links, or
+  positionally when they fall inside (or exactly at the end of — the
+  Figure 3 end-pointer shape) an existing variable, or become
+  speculative 4-byte singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instrument import ModuleInstrumentation
+from .runtime import StackVar, TracingRuntime
+
+
+@dataclass
+class FrameVariable:
+    """One recovered stack variable (sp0-relative byte range)."""
+
+    start: int
+    end: int
+    align: int = 4
+    ref_ids: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return max(self.end - self.start, 1)
+
+    @property
+    def name(self) -> str:
+        return f"sv_{abs(self.start)}"
+
+
+@dataclass
+class FrameLayout:
+    """The recovered layout of one function's frame."""
+
+    func_name: str
+    variables: list[FrameVariable] = field(default_factory=list)
+    #: ref_id -> its variable
+    ref_to_var: dict[int, FrameVariable] = field(default_factory=dict)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def build_frame_layout(func_name: str,
+                       refs: dict[int, tuple[object, int]],
+                       runtime: TracingRuntime) -> FrameLayout:
+    """Partition one function's frame from its base-pointer intervals."""
+    layout = FrameLayout(func_name)
+
+    frame_refs = {rid: off for rid, (_v, off) in refs.items() if off < 0}
+    if not frame_refs:
+        return layout
+
+    intervals: dict[int, tuple[int, int] | None] = {}
+    aligns: dict[int, int] = {}
+    for rid, off in frame_refs.items():
+        var = runtime.stack_vars.get(rid)
+        if var is not None and var.defined:
+            intervals[rid] = (off + var.low, off + var.high)
+            aligns[rid] = var.align
+        else:
+            intervals[rid] = None
+            aligns[rid] = var.align if var is not None else 4
+
+    # Seed one group per defined interval, then merge to a fixed point:
+    # positional overlap and (defined-defined) links both merge, and a
+    # link-merge can create fresh positional overlaps with groups in
+    # between, so the two rules iterate together.
+    groups: list[FrameVariable] = [
+        FrameVariable(iv[0], iv[1], aligns.get(rid, 4), {rid})
+        for rid, iv in intervals.items() if iv is not None
+    ]
+    links = [tuple(pair) for pair in runtime.links
+             if all(r in intervals and intervals[r] is not None
+                    for r in pair)]
+    groups = _merge_to_fixpoint(groups, links)
+
+    layout.variables = groups
+    for var in layout.variables:
+        for rid in var.ref_ids:
+            layout.ref_to_var[rid] = var
+
+    # Attach undefined refs: by link first, then positionally (allowing
+    # exactly-at-end pointers, the Figure 3 shape), else as speculative
+    # 4-byte singletons.
+    pending = [rid for rid, iv in intervals.items() if iv is None]
+    for pair in runtime.links:
+        a, b = tuple(pair)
+        for rid, other in ((a, b), (b, a)):
+            if rid in pending and other in layout.ref_to_var:
+                var = layout.ref_to_var[other]
+                var.ref_ids.add(rid)
+                layout.ref_to_var[rid] = var
+                pending.remove(rid)
+    singletons: list[FrameVariable] = []
+    for rid in list(pending):
+        off = frame_refs[rid]
+        home = None
+        for var in layout.variables:
+            if var.start <= off <= var.end:
+                home = var
+                break
+        if home is None:
+            home = FrameVariable(off, off + 4, aligns.get(rid, 4), set())
+            singletons.append(home)
+            layout.variables.append(home)
+        home.ref_ids.add(rid)
+        layout.ref_to_var[rid] = home
+        pending.remove(rid)
+
+    # Speculative singletons may overlap established variables; one more
+    # merge round restores disjointness.
+    if singletons:
+        layout.variables = _merge_to_fixpoint(layout.variables, [])
+        layout.ref_to_var = {rid: var for var in layout.variables
+                             for rid in var.ref_ids}
+    layout.variables.sort(key=lambda v: v.start)
+    return layout
+
+
+def _merge_to_fixpoint(groups: list[FrameVariable],
+                       links: list[tuple[int, int]]) -> list:
+    while True:
+        changed = False
+        groups.sort(key=lambda v: v.start)
+        merged: list[FrameVariable] = []
+        for var in groups:
+            if merged and var.start < merged[-1].end:
+                _absorb(merged[-1], var)
+                changed = True
+            else:
+                merged.append(var)
+        groups = merged
+        by_ref = {rid: var for var in groups for rid in var.ref_ids}
+        for a, b in links:
+            va, vb = by_ref.get(a), by_ref.get(b)
+            if va is not None and vb is not None and va is not vb:
+                _absorb(va, vb)
+                groups.remove(vb)
+                by_ref.update({rid: va for rid in va.ref_ids})
+                changed = True
+        if not changed:
+            return groups
+
+
+def _absorb(into: FrameVariable, other: FrameVariable) -> None:
+    into.start = min(into.start, other.start)
+    into.end = max(into.end, other.end)
+    into.align = max(into.align, other.align)
+    into.ref_ids |= other.ref_ids
+
+
+def build_layouts(runtime: TracingRuntime,
+                  mi: ModuleInstrumentation) -> dict[str, FrameLayout]:
+    return {
+        name: build_frame_layout(name, fi.refs, runtime)
+        for name, fi in mi.functions.items()
+    }

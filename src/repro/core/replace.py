@@ -1,0 +1,300 @@
+"""Base-pointer replacement: native allocas for recovered variables
+(paper §4.2.6, "Replacing Base Pointers") and emulated-stack removal.
+
+For every lifted function:
+
+* each recovered frame variable becomes a native ``alloca``;
+* every direct stack reference is rewritten to ``alloca + delta``;
+* recovered stack arguments become explicit IR parameters, spilled into a
+  contiguous per-function argument-area alloca (so variadic walks over
+  the argument list still work);
+* at every call site the recovered argument slots are loaded from the
+  caller's own (now native) frame variables and passed explicitly;
+* tagged return-address stores are deleted.
+
+Afterwards the ``sp`` threading is dead; :func:`drop_sp_threading`
+removes it module-wide, at which point the emulated stack global has no
+remaining references and is deleted — the lifted program now runs
+entirely on native stack frames.
+"""
+
+from __future__ import annotations
+
+from ..errors import SymbolizeError
+from ..ir.module import Function, Module
+from ..ir.values import (
+    Alloca,
+    BinOp,
+    Call,
+    CallInd,
+    Const,
+    Instr,
+    Load,
+    Param,
+    Store,
+    Value,
+)
+from ..lifting.translator import EMUSTACK_NAME
+from .instrument import FunctionInstrumentation, ModuleInstrumentation
+from .layout import FrameLayout
+from .runtime import TracingRuntime
+from .signatures import SignaturePlan
+from .sp0fold import is_lifted_function
+
+
+def replace_base_pointers(module: Module,
+                          mi: ModuleInstrumentation,
+                          layouts: dict[str, FrameLayout],
+                          plan: SignaturePlan,
+                          runtime: TracingRuntime) -> None:
+    """Rewrite every lifted function onto native stack variables."""
+    # Functions whose argument area was traversed with derived pointers
+    # need one contiguous area; all others get per-slot allocas that
+    # mem2reg can promote.
+    walked_funcs: set[str] = set()
+    for access in runtime.arg_accesses.values():
+        if access.walked:
+            walked_funcs.update(access.callees)
+
+    # Phase 1: create allocas and argument parameters everywhere (call
+    # sites in phase 2 need the final parameter lists).
+    state: dict[str, _FuncReplacement] = {}
+    for name, fi in mi.functions.items():
+        func = module.functions[name]
+        state[name] = _FuncReplacement(func, fi, layouts[name],
+                                       plan.stack_args.get(name, 0),
+                                       contiguous=name in walked_funcs)
+        state[name].install_allocas()
+
+    # Phase 2: rewrite call sites first (they read sp0 offsets of the
+    # original sp-chain values, which rewrite_refs replaces), then the
+    # stack references themselves.
+    for name, fr in state.items():
+        fr.rewrite_call_sites(plan, state)
+        fr.rewrite_refs()
+        fr.delete_retaddr_stores()
+
+
+class _FuncReplacement:
+    def __init__(self, func: Function, fi: FunctionInstrumentation,
+                 layout: FrameLayout, nargs: int,
+                 contiguous: bool = False):
+        self.func = func
+        self.fi = fi
+        self.layout = layout
+        self.nargs = nargs
+        self.contiguous = contiguous
+        self.var_allocas: dict[int, Alloca] = {}  # id(FrameVariable)
+        self.args_area: Alloca | None = None
+        self.arg_slots: list[Alloca] = []
+
+    # -- phase 1 ---------------------------------------------------------------
+
+    def install_allocas(self) -> None:
+        entry = self.func.entry
+        pos = 0
+        for var in self.layout.variables:
+            alloca = Alloca(var.size, max(var.align, 4), var.name)
+            alloca.block = entry
+            entry.instrs.insert(pos, alloca)
+            pos += 1
+            self.var_allocas[id(var)] = alloca
+        if self.nargs:
+            base = len(self.func.params)
+            new_params = [Param(f"sarg{i}", base + i)
+                          for i in range(self.nargs)]
+            self.func.params.extend(new_params)
+            if self.contiguous:
+                self.args_area = Alloca(4 * self.nargs, 4, "argarea")
+                self.args_area.block = entry
+                entry.instrs.insert(pos, self.args_area)
+                pos += 1
+                for i, param in enumerate(new_params):
+                    addr: Value = self.args_area if i == 0 else \
+                        _insert_add(entry, pos, self.args_area,
+                                    Const(4 * i))
+                    if i:
+                        pos += 1
+                    store = Store(addr, param, 4)
+                    store.block = entry
+                    entry.instrs.insert(pos, store)
+                    pos += 1
+            else:
+                for i, param in enumerate(new_params):
+                    slot = Alloca(4, 4, f"arg{i}")
+                    slot.block = entry
+                    entry.instrs.insert(pos, slot)
+                    pos += 1
+                    self.arg_slots.append(slot)
+                    store = Store(slot, param, 4)
+                    store.block = entry
+                    entry.instrs.insert(pos, store)
+                    pos += 1
+
+    # -- phase 2 ---------------------------------------------------------------
+
+    def rewrite_refs(self) -> None:
+        refs = self.fi.refs  # ref_id -> (value, offset)
+        sp_param = self.func.params[0]
+        replacements: dict[Value, Value] = {}
+        for ref_id, (value, offset) in refs.items():
+            if value is sp_param:
+                continue
+            if 0 <= offset < 4:
+                continue  # return-address slot references
+            if offset >= 4:
+                if self.args_area is not None:
+                    replacement = self._materialize(
+                        value, self.args_area, offset - 4)
+                elif self.arg_slots:
+                    slot = (offset - 4) // 4
+                    if slot >= len(self.arg_slots):
+                        continue  # beyond the recovered signature
+                    replacement = self._materialize(
+                        value, self.arg_slots[slot], (offset - 4) % 4)
+                else:
+                    # Accesses above sp0 with no recovered arguments:
+                    # a coverage gap; leave untouched.
+                    continue
+            else:
+                var = self.layout.ref_to_var.get(ref_id)
+                if var is None:
+                    raise SymbolizeError(
+                        f"{self.func.name}: base pointer at offset "
+                        f"{offset} has no recovered variable")
+                alloca = self.var_allocas[id(var)]
+                replacement = self._materialize(
+                    value, alloca, offset - var.start)
+            replacements[value] = replacement
+        if replacements:
+            for block in self.func.blocks:
+                for instr in block.instrs:
+                    instr.ops = [
+                        replacements[op]
+                        if op in replacements
+                        and instr is not replacements[op] else op
+                        for op in instr.ops
+                    ]
+
+    def _materialize(self, ref_value: Value, base: Alloca,
+                     delta: int) -> Value:
+        if delta == 0:
+            return base
+        add = BinOp("add", base, Const(delta))
+        if isinstance(ref_value, Instr) and ref_value.block is not None:
+            block = ref_value.block
+            from ..ir.values import Phi
+            if isinstance(ref_value, Phi):
+                # Keep the phi group contiguous: insert below it.
+                index = len(block.phis())
+            else:
+                index = block.instrs.index(ref_value) + 1
+        else:  # parameter: place after the entry allocas
+            block = self.func.entry
+            index = sum(1 for i in block.instrs
+                        if isinstance(i, Alloca))
+        add.block = block
+        block.instrs.insert(index, add)
+        return add
+
+    def rewrite_call_sites(self, plan: SignaturePlan,
+                           state: dict[str, "_FuncReplacement"]) -> None:
+        offsets = self.func.meta.get("sp0_offsets", {})
+        for callsite_id, call in self.fi.callsites.items():
+            nargs = plan.callsite_args.get(callsite_id, 0)
+            if nargs == 0:
+                continue
+            sp_arg = call.args[0]
+            sp_off = offsets.get(sp_arg)
+            if sp_off is None:
+                raise SymbolizeError(
+                    f"{self.func.name}: call-site stack pointer is not "
+                    f"a constant offset from sp0")
+            block = call.block
+            index = block.instrs.index(call)
+            extra: list[Value] = []
+            for slot in range(nargs):
+                target = sp_off + 4 + 4 * slot
+                value = self._load_frame_slot(block, index, target)
+                index = block.instrs.index(call)
+                extra.append(value)
+            call.ops = list(call.ops) + extra
+
+    def _load_frame_slot(self, block, index: int, offset: int) -> Value:
+        """Load the value at sp0-relative ``offset`` from the recovered
+        frame (used to forward stack arguments at call sites)."""
+        if offset >= 4 and self.args_area is not None:
+            base: Alloca | None = self.args_area
+            delta = offset - 4
+        elif offset >= 4 and self.arg_slots and \
+                (offset - 4) // 4 < len(self.arg_slots):
+            base = self.arg_slots[(offset - 4) // 4]
+            delta = (offset - 4) % 4
+        else:
+            base = None
+            delta = 0
+            for var in self.layout.variables:
+                if var.start <= offset and offset + 4 <= var.end:
+                    base = self.var_allocas[id(var)]
+                    delta = offset - var.start
+                    break
+        if base is None:
+            return Const(0)  # gap filling (paper §4.2.6)
+        addr: Value = base
+        if delta:
+            addr = BinOp("add", base, Const(delta))
+            addr.block = block
+            block.instrs.insert(index, addr)
+            index += 1
+        load = Load(addr, 4)
+        load.block = block
+        block.instrs.insert(index, load)
+        return load
+
+    def delete_retaddr_stores(self) -> None:
+        tagged = set(self.func.meta.get("retaddr_stores", []))
+        if not tagged:
+            return
+        for block in self.func.blocks:
+            block.instrs = [i for i in block.instrs if i not in tagged]
+
+
+def drop_sp_threading(module: Module) -> bool:
+    """Remove the sp parameter/argument from every lifted function and
+    delete the emulated stack.  Returns True if performed.
+
+    Caller must run DCE afterwards to sweep the dead sp chains.
+    """
+    lifted = [f for f in module.functions.values()
+              if is_lifted_function(f)]
+    if not lifted:
+        return False
+    for func in lifted:
+        sp = func.params[0]
+        func.params = func.params[1:]
+        for i, param in enumerate(func.params):
+            param.index = i
+        # Any remaining direct uses of sp become a dummy constant; if
+        # symbolization was complete these are all dead arithmetic.
+        for block in func.blocks:
+            for instr in block.instrs:
+                instr.ops = [Const(0) if op is sp else op
+                             for op in instr.ops]
+    lifted_names = {f.name for f in lifted}
+    for func in module.functions.values():
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, Call) and \
+                        instr.callee.name in lifted_names:
+                    instr.ops = [instr.ops[0], *instr.ops[2:]]
+                elif isinstance(instr, CallInd):
+                    instr.ops = [instr.ops[0], *instr.ops[2:]]
+    module.globals.pop(EMUSTACK_NAME, None)
+    return True
+
+
+def _insert_add(block, pos: int, base: Value, const: Const) -> BinOp:
+    add = BinOp("add", base, const)
+    add.block = block
+    block.instrs.insert(pos, add)
+    return add

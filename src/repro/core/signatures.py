@@ -1,0 +1,89 @@
+"""Function signature recovery from call-site argument accesses
+(paper §4.2.5-§4.2.6).
+
+Each call site records the interval of the argument area its callee
+touched.  Per function, the *super signature* is the union over its call
+sites (gaps filled).  Functions reachable from the same indirect call
+site must agree on their stack-argument count, so indirect-callee groups
+are unified to their maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.module import Module
+from ..ir.values import Call, CallInd
+from .instrument import ModuleInstrumentation
+from .runtime import TracingRuntime
+
+
+@dataclass
+class SignaturePlan:
+    #: Recovered stack-argument slot count per lifted function.
+    stack_args: dict[str, int] = field(default_factory=dict)
+    #: Stack-argument slots each call site must pass (callsite_id keys).
+    callsite_args: dict[int, int] = field(default_factory=dict)
+
+
+def build_signatures(runtime: TracingRuntime,
+                     mi: ModuleInstrumentation,
+                     module: Module) -> SignaturePlan:
+    plan = SignaturePlan()
+
+    # Raw per-function argument extents from observed accesses.
+    raw: dict[str, int] = {name: 0 for name in mi.functions}
+    for access in runtime.arg_accesses.values():
+        if access.high is None:
+            continue
+        nslots = (access.high + 3) // 4
+        for callee in access.callees:
+            raw[callee] = max(raw.get(callee, 0), nslots)
+
+    # Indirect call sites force their callee sets to a common signature.
+    groups: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        groups.setdefault(name, name)
+        while groups[name] != name:
+            groups[name] = groups[groups[name]]
+            name = groups[name]
+        return name
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            groups[ra] = rb
+
+    for fi in mi.functions.values():
+        for callsite_id, instr in fi.callsites.items():
+            if not isinstance(instr, CallInd):
+                continue
+            access = runtime.arg_accesses.get(callsite_id)
+            callees = sorted(access.callees) if access is not None else []
+            for a, b in zip(callees, callees[1:]):
+                union(a, b)
+
+    final: dict[str, int] = {}
+    for name, count in raw.items():
+        root = find(name)
+        final[root] = max(final.get(root, 0), count)
+    for name in raw:
+        plan.stack_args[name] = final[find(name)]
+
+    # Call sites pass exactly what their callee group expects.
+    for fi in mi.functions.values():
+        for callsite_id, instr in fi.callsites.items():
+            access = runtime.arg_accesses.get(callsite_id)
+            callees = access.callees if access is not None else set()
+            if isinstance(instr, Call):
+                callee = instr.callee.name
+                plan.callsite_args[callsite_id] = \
+                    plan.stack_args.get(callee, 0)
+            elif callees:
+                any_callee = next(iter(callees))
+                plan.callsite_args[callsite_id] = \
+                    plan.stack_args.get(any_callee, 0)
+            else:
+                plan.callsite_args[callsite_id] = 0
+    return plan

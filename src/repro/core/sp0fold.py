@@ -1,0 +1,94 @@
+"""Stack reference identification: folding direct references to sp0
+(paper §4.1, second half).
+
+After refinement 1 has broken the save/restore dependence on the emulated
+stack, every *direct* stack reference in a lifted function is computable
+as ``sp0 + constant``.  This pass propagates those constants through the
+SSA graph and classifies which of the offset-known values are **base
+pointers** — values with at least one "real" use (memory address, stored
+value, call argument, comparison operand, input to untracked arithmetic)
+rather than merely feeding another constant-offset computation.
+
+Results are stashed in ``func.meta["sp0_offsets"]`` (value -> offset) and
+``func.meta["stack_refs"]`` (the base-pointer subset), for the
+instrumentation pass and the final replacement to consume.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Function, Module
+from ..ir.values import BinOp, Const, Instr, Phi, Value
+from ..lifting.translator import REG_ORDER
+
+
+def is_lifted_function(func: Function) -> bool:
+    return bool(func.params) and func.params[0].name == "sp" \
+        and func.orig_entry is not None
+
+
+def compute_sp0_offsets(func: Function) -> dict[Value, int]:
+    """Map every value provably equal to ``sp0 + c`` to its ``c``."""
+    offsets: dict[Value, int] = {func.params[0]: 0}
+    for _ in range(64):
+        changed = False
+        for instr in func.instructions():
+            if instr in offsets:
+                continue
+            off = _transfer(instr, offsets)
+            if off is not None:
+                offsets[instr] = off
+                changed = True
+        if not changed:
+            break
+    return offsets
+
+
+def _signed(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _transfer(instr: Instr, offsets: dict[Value, int]) -> int | None:
+    if isinstance(instr, BinOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        if instr.opcode == "add":
+            if lhs in offsets and isinstance(rhs, Const):
+                return offsets[lhs] + rhs.signed
+            if rhs in offsets and isinstance(lhs, Const):
+                return offsets[rhs] + lhs.signed
+        elif instr.opcode == "sub":
+            if lhs in offsets and isinstance(rhs, Const):
+                return offsets[lhs] - rhs.signed
+        return None
+    if isinstance(instr, Phi):
+        incoming = [op for op in instr.ops if op is not instr]
+        if incoming and all(op in offsets for op in incoming):
+            values = {offsets[op] for op in incoming}
+            if len(values) == 1:
+                return values.pop()
+    return None
+
+
+def classify_stack_refs(func: Function) -> dict[Value, int]:
+    """The base-pointer subset of the offset-known values."""
+    offsets = compute_sp0_offsets(func)
+    feeds_only_chain: dict[Value, bool] = {v: True for v in offsets}
+    for instr in func.instructions():
+        chain_member = instr in offsets and isinstance(instr,
+                                                       (BinOp, Phi))
+        for op in instr.operands():
+            if op in feeds_only_chain and not chain_member:
+                feeds_only_chain[op] = False
+    refs = {v: off for v, off in offsets.items()
+            if not feeds_only_chain[v]}
+    func.meta["sp0_offsets"] = offsets
+    func.meta["stack_refs"] = refs
+    return refs
+
+
+def fold_module_stack_refs(module: Module) -> dict[str, dict[Value, int]]:
+    out = {}
+    for func in module.functions.values():
+        if is_lifted_function(func):
+            out[func.name] = classify_stack_refs(func)
+    return out

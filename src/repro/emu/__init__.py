@@ -1,0 +1,15 @@
+"""Execution substrate: memory, CPU, machine emulator, tracer, libc."""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .cpu import CPU, Flags, signed32
+from .libc import Args, ExitProgram, LibC, ListArgs, StackArgs, parse_format
+from .machine import Machine, RunResult, run_binary
+from .memory import Memory
+from .tracer import TraceSet, Tracer, Transfer, trace_binary
+
+__all__ = [
+    "Args", "CPU", "CostModel", "DEFAULT_COSTS", "ExitProgram", "Flags",
+    "LibC", "ListArgs", "Machine", "Memory", "RunResult", "StackArgs",
+    "TraceSet", "Tracer", "Transfer", "parse_format", "run_binary",
+    "signed32", "trace_binary",
+]

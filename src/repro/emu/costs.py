@@ -1,0 +1,76 @@
+"""Cycle cost model shared by all performance measurements.
+
+The paper reports wall-clock runtimes on a fixed host and uses them purely
+as a proxy for IR quality (Section 6).  Our substitute is a deterministic
+cycle model applied identically to input binaries and recompiled binaries,
+so relative comparisons (the only quantity the paper interprets) are
+meaningful.  Costs are loosely calibrated to a simple in-order pipeline:
+memory traffic dominates, division is slow, calls carry frame overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import Instruction, Mem
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event cycle costs."""
+
+    base: int = 1
+    mem_read: int = 3
+    mem_write: int = 3
+    mul: int = 3
+    div: int = 20
+    branch_taken: int = 1
+    call: int = 2
+    ret: int = 2
+    import_call: int = 12
+
+    def instruction_cost(self, instr: Instruction) -> int:
+        """Static portion of the cost of executing ``instr``.
+
+        Dynamic extras (taken branches, import dispatch) are added by the
+        machine as they occur.
+        """
+        cost = self.base
+        m = instr.mnemonic
+        if m == "imul":
+            cost += self.mul
+        elif m == "idiv":
+            cost += self.div
+        elif m == "push":
+            cost += self.mem_write
+        elif m == "pop":
+            cost += self.mem_read
+        elif m == "call":
+            cost += self.call + self.mem_write  # return address push
+        elif m == "ret":
+            cost += self.ret + self.mem_read
+        elif m == "leave":
+            cost += self.mem_read  # pop of the saved frame pointer
+        if m != "lea":  # lea computes an address without touching memory
+            for i, op in enumerate(instr.operands):
+                if isinstance(op, Mem):
+                    if i == 0 and m in _WRITES_FIRST_OPERAND:
+                        cost += self.mem_write
+                        if m in _READ_MODIFY_WRITE:
+                            cost += self.mem_read
+                    else:
+                        cost += self.mem_read
+        return cost
+
+
+_WRITES_FIRST_OPERAND = frozenset({
+    "mov", "movzx", "movsx", "add", "sub", "and", "or", "xor", "neg",
+    "not", "shl", "shr", "sar", "inc", "dec", "pop", "setcc",
+})
+
+_READ_MODIFY_WRITE = frozenset({
+    "add", "sub", "and", "or", "xor", "neg", "not", "shl", "shr", "sar",
+    "inc", "dec",
+})
+
+DEFAULT_COSTS = CostModel()

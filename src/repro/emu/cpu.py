@@ -1,0 +1,102 @@
+"""CPU state: the register file, flags, and condition-code predicates.
+
+Flag semantics follow x86-32 for the subset the ISA exposes (ZF, SF, CF,
+OF) so that compiled comparison/branch idioms behave identically under
+emulation and after lifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.registers import GPR32, Reg, read_view, write_view
+
+MASK32 = 0xFFFFFFFF
+
+
+def signed32(v: int) -> int:
+    v &= MASK32
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+@dataclass
+class Flags:
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+
+    def set_logic(self, result: int) -> None:
+        """Flags after and/or/xor/test: CF and OF cleared."""
+        result &= MASK32
+        self.zf = result == 0
+        self.sf = bool(result & 0x80000000)
+        self.cf = False
+        self.of = False
+
+    def set_add(self, a: int, b: int, result: int) -> None:
+        a &= MASK32
+        b &= MASK32
+        self.zf = (result & MASK32) == 0
+        self.sf = bool(result & 0x80000000)
+        self.cf = result > MASK32
+        self.of = bool((~(a ^ b) & (a ^ result)) & 0x80000000)
+
+    def set_sub(self, a: int, b: int, result: int) -> None:
+        a &= MASK32
+        b &= MASK32
+        self.zf = (result & MASK32) == 0
+        self.sf = bool(result & 0x80000000)
+        self.cf = a < b
+        self.of = bool(((a ^ b) & (a ^ result)) & 0x80000000)
+
+    def condition(self, cc: str) -> bool:
+        if cc == "e":
+            return self.zf
+        if cc == "ne":
+            return not self.zf
+        if cc == "l":
+            return self.sf != self.of
+        if cc == "le":
+            return self.zf or self.sf != self.of
+        if cc == "g":
+            return not self.zf and self.sf == self.of
+        if cc == "ge":
+            return self.sf == self.of
+        if cc == "b":
+            return self.cf
+        if cc == "be":
+            return self.cf or self.zf
+        if cc == "a":
+            return not self.cf and not self.zf
+        if cc == "ae":
+            return not self.cf
+        if cc == "s":
+            return self.sf
+        if cc == "ns":
+            return not self.sf
+        raise ValueError(f"unknown condition code {cc!r}")
+
+
+@dataclass
+class CPU:
+    """Architectural state: eight 32-bit GPRs, eip, and flags."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 8)
+    eip: int = 0
+    flags: Flags = field(default_factory=Flags)
+
+    def get(self, r: Reg) -> int:
+        return read_view(self.regs[r.index], r)
+
+    def set(self, r: Reg, value: int) -> None:
+        self.regs[r.index] = write_view(self.regs[r.index], r, value)
+
+    def get_name(self, name: str) -> int:
+        return self.regs[GPR32.index(name)]
+
+    def set_name(self, name: str, value: int) -> None:
+        self.regs[GPR32.index(name)] = value & MASK32
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: self.regs[i] for i, name in enumerate(GPR32)}

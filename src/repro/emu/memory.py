@@ -1,0 +1,85 @@
+"""Sparse flat memory used by both the machine emulator and IR interpreter.
+
+Memory is byte-addressed, little-endian, and demand-paged with zero-filled
+pages, so freshly mapped stack/heap/BSS reads as zero.  Both execution
+engines (machine code and lifted IR) share this model, which is what lets
+the lifted program see the exact same address space the original binary
+did — global data stays at its original addresses, as in BinRec.
+"""
+
+from __future__ import annotations
+
+from ..binary.image import BinaryImage
+from ..errors import EmulationError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse little-endian byte memory over 4 KiB pages."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[addr >> PAGE_SHIFT] = page
+        return page
+
+    def read(self, addr: int, size: int) -> int:
+        """Read an unsigned little-endian integer of ``size`` bytes."""
+        if addr < 0 or addr + size > 0x100000000:
+            raise EmulationError(f"read outside address space: {addr:#x}")
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE:
+            page = self._page(addr)
+            return int.from_bytes(page[off:off + size], "little")
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Write an integer as ``size`` little-endian bytes (truncating)."""
+        if addr < 0 or addr + size > 0x100000000:
+            raise EmulationError(f"write outside address space: {addr:#x}")
+        value &= (1 << (8 * size)) - 1
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE:
+            page = self._page(addr)
+            page[off:off + size] = value.to_bytes(size, "little")
+        else:
+            self.write_bytes(addr, value.to_bytes(size, "little"))
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        while size > 0:
+            off = addr & PAGE_MASK
+            chunk = min(size, PAGE_SIZE - off)
+            out += self._page(addr)[off:off + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            off = (addr + pos) & PAGE_MASK
+            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            self._page(addr + pos)[off:off + chunk] = data[pos:pos + chunk]
+            pos += chunk
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated byte string (used by the libc model)."""
+        out = bytearray()
+        for i in range(limit):
+            b = self.read(addr + i, 1)
+            if b == 0:
+                return bytes(out)
+            out.append(b)
+        raise EmulationError(f"unterminated string at {addr:#x}")
+
+    def load_image(self, image: BinaryImage) -> None:
+        for section in image.sections:
+            self.write_bytes(section.base, section.data)

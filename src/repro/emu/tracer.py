@@ -1,0 +1,104 @@
+"""Dynamic control-flow tracing (the S2E role in the paper's Figure 4).
+
+A :class:`Tracer` attaches to the machine emulator and records, for a set
+of inputs, every control transfer and every executed instruction address.
+:class:`TraceSet` merges traces across inputs (the paper's "Merge CFGs"
+step), and is the sole source of control-flow information for the lifter —
+the dynamic-only discipline that lets WYTIWYG avoid heuristic CFG
+recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binary.image import BinaryImage
+from .costs import DEFAULT_COSTS, CostModel
+from .machine import Machine, RunResult
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One observed control transfer."""
+
+    src: int
+    dst: int
+    kind: str  # "call" | "ret" | "jump" | "fallthrough" | "import"
+
+
+class Tracer:
+    """Collects transfers and coverage during one or more executions."""
+
+    def __init__(self) -> None:
+        self.transfers: set[Transfer] = set()
+        self.executed: set[int] = set()
+
+    # ControlSink protocol -------------------------------------------------
+
+    def transfer(self, src: int, dst: int, kind: str) -> None:
+        self.transfers.add(Transfer(src, dst, kind))
+
+    # Shadowing the method name is fine: the protocol method and the
+    # attribute would collide, so the sink exposes `executed_addr`.
+    def executed_addr(self, addr: int) -> None:
+        self.executed.add(addr)
+
+
+class _SinkAdapter:
+    """Adapts a Tracer to the Machine's ControlSink protocol."""
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+
+    def transfer(self, src: int, dst: int, kind: str) -> None:
+        self._tracer.transfer(src, dst, kind)
+
+    def executed(self, addr: int) -> None:
+        self._tracer.executed_addr(addr)
+
+
+@dataclass
+class TraceSet:
+    """Merged dynamic information for one binary across traced inputs."""
+
+    image: BinaryImage
+    transfers: set[Transfer] = field(default_factory=set)
+    executed: set[int] = field(default_factory=set)
+    results: list[RunResult] = field(default_factory=list)
+    inputs: list[list[int | bytes]] = field(default_factory=list)
+
+    def merge(self, tracer: Tracer, result: RunResult,
+              input_items: list[int | bytes]) -> None:
+        self.transfers |= tracer.transfers
+        self.executed |= tracer.executed
+        self.results.append(result)
+        self.inputs.append(list(input_items))
+
+    @property
+    def call_targets(self) -> set[int]:
+        return {t.dst for t in self.transfers if t.kind == "call"}
+
+    @property
+    def jump_edges(self) -> set[tuple[int, int]]:
+        return {(t.src, t.dst) for t in self.transfers
+                if t.kind in ("jump", "fallthrough")}
+
+
+def trace_binary(image: BinaryImage,
+                 inputs: list[list[int | bytes]],
+                 costs: CostModel = DEFAULT_COSTS,
+                 max_instructions: int = 80_000_000) -> TraceSet:
+    """Run ``image`` on every input, merging traces (incremental lifting).
+
+    This is the paper's initial tracing phase: each input contributes
+    coverage, and the merged trace set drives lifting.
+    """
+    traces = TraceSet(image)
+    for input_items in inputs:
+        tracer = Tracer()
+        machine = Machine(image, list(input_items), costs=costs,
+                          max_instructions=max_instructions,
+                          trace_sink=_SinkAdapter(tracer))
+        result = machine.run()
+        traces.merge(tracer, result, input_items)
+    return traces

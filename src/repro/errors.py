@@ -1,0 +1,62 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch failures from the toolchain as a family, while still being able to
+distinguish (say) an assembler bug from a lifting failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolchain."""
+
+
+class AsmError(ReproError):
+    """Raised when the assembler rejects an instruction or operand."""
+
+
+class EncodingError(ReproError):
+    """Raised when machine code cannot be encoded or decoded."""
+
+
+class LinkError(ReproError):
+    """Raised when a binary image cannot be linked or loaded."""
+
+
+class EmulationError(ReproError):
+    """Raised when the machine emulator hits an illegal state."""
+
+
+class CompileError(ReproError):
+    """Raised by the MiniC compiler on invalid source programs."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class IRError(ReproError):
+    """Raised when IR is malformed (verifier failures, bad builder use)."""
+
+
+class InterpError(ReproError):
+    """Raised when the IR interpreter hits an illegal state."""
+
+
+class LiftError(ReproError):
+    """Raised when a binary cannot be lifted to IR."""
+
+
+class SymbolizeError(ReproError):
+    """Raised when stack symbolization cannot be completed."""
+
+
+class LowerError(ReproError):
+    """Raised when IR cannot be lowered back to machine code."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload program or its inputs are inconsistent."""

@@ -1,0 +1,186 @@
+"""Measurement harness shared by every experiment.
+
+One *cell* = (workload, input-binary configuration).  For each cell the
+harness produces the runtimes of:
+
+* the input binary itself (``native``);
+* the BinRec recompilation, no symbolization (``binrec``);
+* the WYTIWYG recompilation (``wytiwyg``), plus layout accuracy;
+* the SecondWrite static recompilation (``secondwrite``), which may fail.
+
+Runtimes are cycle counts under the shared cost model, summed over the
+workload's ref inputs — the relative quantities Table 1 and Figure 6
+report.  Results are cached on disk (delete ``.eval_cache`` after code
+changes to re-measure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..baselines.binrec import binrec_recompile
+from ..baselines.secondwrite import SecondWriteError, \
+    secondwrite_recompile
+from ..core.driver import wytiwyg_recompile
+from ..emu.machine import run_binary
+from ..errors import ReproError
+from ..workloads import WORKLOADS, Workload
+
+#: The input-binary configurations of Table 1, in column order.
+CONFIGS = (
+    ("gcc12", "3"),
+    ("gcc12", "0"),
+    ("clang16", "3"),
+    ("gcc44", "3"),
+)
+
+#: A reduced sweep for quick runs (tests, smoke benchmarks).
+QUICK_WORKLOADS = ("gcc", "mcf", "hmmer", "xalancbmk")
+
+
+@dataclass
+class CellResult:
+    """All measurements for one (workload, config) cell."""
+
+    workload: str
+    compiler: str
+    opt_level: str
+    native_cycles: int = 0
+    binrec_cycles: int | None = None
+    binrec_match: bool = False
+    wytiwyg_cycles: int | None = None
+    wytiwyg_match: bool = False
+    wytiwyg_fallback: bool = False
+    secondwrite_cycles: int | None = None
+    secondwrite_match: bool = False
+    secondwrite_error: str = ""
+    accuracy_counts: dict = field(default_factory=dict)
+    accuracy_recovered: int = 0
+
+    @property
+    def binrec_ratio(self) -> float | None:
+        if self.binrec_cycles is None or not self.native_cycles:
+            return None
+        return self.binrec_cycles / self.native_cycles
+
+    @property
+    def wytiwyg_ratio(self) -> float | None:
+        if self.wytiwyg_cycles is None or not self.native_cycles:
+            return None
+        return self.wytiwyg_cycles / self.native_cycles
+
+    @property
+    def secondwrite_ratio(self) -> float | None:
+        if self.secondwrite_cycles is None or not self.native_cycles:
+            return None
+        return self.secondwrite_cycles / self.native_cycles
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_EVAL_CACHE", ".eval_cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cell_key(workload: Workload, compiler: str, opt_level: str) -> str:
+    h = hashlib.sha256()
+    h.update(workload.source.encode())
+    h.update(repr(workload.ref_inputs).encode())
+    h.update(f"{compiler}-{opt_level}".encode())
+    return f"{workload.name}-{compiler}-O{opt_level}-{h.hexdigest()[:12]}"
+
+
+def _total_cycles(image, inputs, budget: int = 60_000_000) -> int:
+    return sum(run_binary(image, items, max_instructions=budget).cycles
+               for items in inputs)
+
+
+def _outputs_match(image_a, image_b, inputs,
+                   budget: int = 60_000_000) -> bool:
+    for items in inputs:
+        a = run_binary(image_a, items, max_instructions=budget)
+        b = run_binary(image_b, items, max_instructions=budget)
+        if a.stdout != b.stdout or a.exit_code != b.exit_code:
+            return False
+    return True
+
+
+def measure_cell(workload: Workload, compiler: str, opt_level: str,
+                 use_cache: bool = True,
+                 include_secondwrite: bool = True) -> CellResult:
+    """Measure one Table-1 cell (with on-disk caching)."""
+    cache_file = _cache_dir() / (_cell_key(workload, compiler,
+                                           opt_level) + ".json")
+    if use_cache and cache_file.exists():
+        doc = json.loads(cache_file.read_text())
+        return CellResult(**doc)
+
+    image = workload.compile(compiler, opt_level)
+    inputs = workload.inputs()
+    result = CellResult(workload.name, compiler, opt_level)
+    result.native_cycles = _total_cycles(image, inputs)
+    stripped = image.stripped()
+
+    # BinRec: lifted, optimized, not symbolized.
+    binrec = binrec_recompile(stripped, inputs)
+    result.binrec_cycles = _total_cycles(binrec, inputs)
+    result.binrec_match = _outputs_match(image, binrec, inputs)
+
+    # WYTIWYG: full refinement lifting (ground truth read only by the
+    # accuracy evaluation, never by the pipeline).
+    wyt = wytiwyg_recompile(image, inputs)
+    result.wytiwyg_cycles = _total_cycles(wyt.recovered, inputs)
+    result.wytiwyg_match = _outputs_match(image, wyt.recovered, inputs)
+    result.wytiwyg_fallback = wyt.fallback
+    if wyt.accuracy is not None:
+        result.accuracy_counts = dict(wyt.accuracy.counts)
+        result.accuracy_recovered = wyt.accuracy.total_recovered
+
+    if include_secondwrite:
+        try:
+            sw = secondwrite_recompile(stripped)
+            result.secondwrite_cycles = _total_cycles(sw.recovered,
+                                                      inputs)
+            result.secondwrite_match = _outputs_match(
+                image, sw.recovered, inputs)
+        except (SecondWriteError, ReproError) as exc:
+            result.secondwrite_error = str(exc)
+        except Exception as exc:  # recompiled binary misbehaved
+            result.secondwrite_error = f"{type(exc).__name__}: {exc}"
+
+    if use_cache:
+        cache_file.write_text(json.dumps(asdict(result)))
+    return result
+
+
+def sweep(workload_names: tuple[str, ...] | None = None,
+          configs=CONFIGS, use_cache: bool = True,
+          include_secondwrite: bool = True,
+          progress=None) -> dict[tuple[str, str, str], CellResult]:
+    """Measure a grid of cells; returns {(workload, compiler, opt): ...}."""
+    names = workload_names or tuple(WORKLOADS)
+    out: dict[tuple[str, str, str], CellResult] = {}
+    for name in names:
+        workload = WORKLOADS[name]
+        for compiler, opt_level in configs:
+            if progress is not None:
+                progress(name, compiler, opt_level)
+            out[(name, compiler, opt_level)] = measure_cell(
+                workload, compiler, opt_level, use_cache,
+                include_secondwrite)
+    return out
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

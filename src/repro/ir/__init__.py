@@ -1,0 +1,52 @@
+"""The repro compiler-level IR (the LLVM IR analogue)."""
+
+from .builder import Builder
+from .interp import (
+    FUNC_ADDR_BASE,
+    GLOBAL_REGION_BASE,
+    Frame,
+    InterpResult,
+    Interpreter,
+    run_module,
+)
+from .module import Block, Function, GlobalVar, Module
+from .printer import function_to_text, module_to_text
+from .values import (
+    BINOPS,
+    ICMP_PREDS,
+    UNOPS,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    CallExt,
+    CallInd,
+    CondBr,
+    Const,
+    FuncRef,
+    GlobalRef,
+    ICmp,
+    Instr,
+    Intrinsic,
+    Load,
+    Param,
+    Phi,
+    Ret,
+    Result,
+    Store,
+    Switch,
+    Unary,
+    Unreachable,
+    Value,
+)
+from .verifier import verify_function, verify_module
+
+__all__ = [
+    "Alloca", "BINOPS", "BinOp", "Block", "Br", "Builder", "Call",
+    "CallExt", "CallInd", "CondBr", "Const", "FUNC_ADDR_BASE", "Frame",
+    "FuncRef", "Function", "GLOBAL_REGION_BASE", "GlobalRef", "GlobalVar",
+    "ICMP_PREDS", "ICmp", "Instr", "InterpResult", "Interpreter",
+    "Intrinsic", "Load", "Module", "Param", "Phi", "Ret", "Result", "Store",
+    "Switch", "UNOPS", "Unary", "Unreachable", "Value", "function_to_text",
+    "module_to_text", "run_module", "verify_function", "verify_module",
+]

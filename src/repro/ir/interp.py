@@ -1,0 +1,547 @@
+"""IR interpreter: executes a module against the shared memory model.
+
+This is the "Execute" box of the paper's Figure 4: every refinement runs
+the *lifted IR itself* (instrumented with probes) on the traced inputs.
+The interpreter therefore supports two extension points:
+
+* an **intrinsic handler** — receives ``wyt.*`` probe calls inserted by
+  :mod:`repro.core.instrument` (the analogue of linking BinRec's
+  instrumentation runtime into the lifted program); and
+* a **shadow plugin** — observes every executed instruction with its
+  operand shadows, used by the register save/argument classification of
+  refinement 1 (paper §4.1), where each register carries a symbolic value.
+
+It is also used to validate lifted IR functionally before lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..binary.image import STACK_TOP
+from ..errors import InterpError
+from .module import Function, GlobalVar, Module
+from .values import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    CallExt,
+    CallInd,
+    CondBr,
+    Const,
+    FuncRef,
+    GlobalRef,
+    ICmp,
+    Instr,
+    Intrinsic,
+    Load,
+    Param,
+    Phi,
+    Ret,
+    Result,
+    Store,
+    Switch,
+    Unary,
+    Unreachable,
+    Value,
+)
+from ..emu.libc import ExitProgram, LibC, ListArgs, StackArgs
+from ..emu.memory import Memory
+
+MASK32 = 0xFFFFFFFF
+
+#: Where unpinned globals are placed by the interpreter and the lowerer.
+GLOBAL_REGION_BASE = 0x0D000000
+
+#: Pseudo-addresses assigned to address-taken functions with no original
+#: binary entry (cc-compiled modules).
+FUNC_ADDR_BASE = 0x0E000000
+
+
+def _signed(v: int) -> int:
+    v &= MASK32
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+class ShadowPlugin(Protocol):
+    """Observer interface for shadow-value analyses (refinement 1).
+
+    ``call_enter`` may return replacement shadows for the parameters
+    (e.g. fresh register symbols); ``call_exit`` may return translated
+    shadows for the returned values, which the interpreter attaches to
+    the call's results in the caller frame.
+    """
+
+    def call_enter(self, func: Function, frame_id: int, args: list[int],
+                   arg_shadows: list) -> list | None: ...
+
+    def call_exit(self, func: Function, frame_id: int,
+                  ret_values: list[int],
+                  ret_shadows: list) -> list | None: ...
+
+    def on_instr(self, frame_id: int, instr: Instr,
+                 operand_shadows: list, result: int | None): ...
+
+    def on_store(self, frame_id: int, instr: Instr, addr: int,
+                 value: int, value_shadow) -> None: ...
+
+    def on_load(self, frame_id: int, instr: Instr, addr: int,
+                value: int): ...
+
+    def on_callext(self, frame_id: int, instr: Instr,
+                   arg_values: list[int], arg_shadows: list) -> None: ...
+
+    def on_indirect_call(self, callee: Function) -> None: ...
+
+
+IntrinsicHandler = Callable[["Frame", Intrinsic, list[int]], None]
+
+
+@dataclass
+class InterpResult:
+    exit_code: int
+    stdout: bytes
+    steps: int
+
+
+class Frame:
+    """One activation of an IR function."""
+
+    __slots__ = ("function", "frame_id", "values", "shadows", "sp")
+
+    def __init__(self, function: Function, frame_id: int, sp: int):
+        self.function = function
+        self.frame_id = frame_id
+        self.values: dict[Value, object] = {}
+        self.shadows: dict[Value, object] = {}
+        self.sp = sp  # native stack cursor for allocas
+
+
+class Interpreter:
+    """Executes an IR module. One instance per run."""
+
+    def __init__(self, module: Module,
+                 input_items: list[int | bytes] | None = None,
+                 intrinsic_handler: IntrinsicHandler | None = None,
+                 shadow: ShadowPlugin | None = None,
+                 callext_hook=None,
+                 max_steps: int = 200_000_000):
+        self.module = module
+        self.mem = Memory()
+        self.libc = LibC(self.mem, list(input_items or []))
+        self.intrinsic_handler = intrinsic_handler
+        self.shadow = shadow
+        #: Optional hook observing every external call:
+        #: hook(frame, instr, sp_or_None, args_or_None).
+        self.callext_hook = callext_hook
+        self.max_steps = max_steps
+        self.steps = 0
+        self._next_frame_id = 1
+        self._exit_code: int | None = None
+        self.global_addrs: dict[str, int] = {}
+        self.func_addrs: dict[str, int] = {}
+        self._addr_to_func: dict[int, str] = {}
+        self._layout_globals()
+        self._assign_func_addrs()
+        self._write_global_initializers()
+
+    # -- layout -------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        cursor = GLOBAL_REGION_BASE
+        for g in self.module.globals.values():
+            if g.fixed_addr is not None:
+                addr = g.fixed_addr
+            else:
+                align = max(g.align, 1)
+                cursor = (cursor + align - 1) & ~(align - 1)
+                addr = cursor
+                cursor += g.size
+            self.global_addrs[g.name] = addr
+
+    def _write_global_initializers(self) -> None:
+        # Initializers may reference functions/globals symbolically, so
+        # this runs after both address spaces are assigned.
+        for g in self.module.globals.values():
+            data = g.init_bytes(resolve=self._resolve_symbol, pad=False)
+            if data:
+                self.mem.write_bytes(self.global_addrs[g.name], data)
+
+    def _assign_func_addrs(self) -> None:
+        for addr, name in self.module.address_table.items():
+            self.func_addrs[name] = addr
+            self._addr_to_func[addr] = name
+        cursor = FUNC_ADDR_BASE
+        for func in self.module.functions.values():
+            if func.name not in self.func_addrs:
+                self.func_addrs[func.name] = cursor
+                self._addr_to_func[cursor] = func.name
+                cursor += 16
+
+    def _resolve_symbol(self, sym) -> int:
+        name = sym.name if isinstance(sym, (GlobalRef, FuncRef)) else str(sym)
+        if name in self.global_addrs:
+            return self.global_addrs[name]
+        if name in self.func_addrs:
+            return self.func_addrs[name]
+        # Two-phase: function addresses are assigned after globals, so
+        # compute lazily via the address table when needed.
+        raise InterpError(f"unresolved symbol {name!r} in initializer")
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self, args: list[int] | None = None) -> InterpResult:
+        entry = self.module.entry_function
+        call_args = list(args or [])
+        if len(call_args) < len(entry.params):
+            call_args += [0] * (len(entry.params) - len(call_args))
+        try:
+            rets = self.call_function(entry, call_args)
+            code = rets[0] if rets else 0
+        except ExitProgram as exc:
+            code = exc.code
+        return InterpResult(code & MASK32, bytes(self.libc.stdout),
+                            self.steps)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _eval(self, frame: Frame, v: Value) -> int:
+        if isinstance(v, Const):
+            return v.value
+        if isinstance(v, Instr):
+            try:
+                return frame.values[v]  # type: ignore[return-value]
+            except KeyError:
+                raise InterpError(
+                    f"{frame.function.name}: use of unevaluated "
+                    f"{v!r}") from None
+        if isinstance(v, Param):
+            return frame.values[v]  # type: ignore[return-value]
+        if isinstance(v, GlobalRef):
+            return self.global_addrs[v.name]
+        if isinstance(v, FuncRef):
+            return self.func_addrs[v.name]
+        raise InterpError(f"cannot evaluate {v!r}")
+
+    def _shadow_of(self, frame: Frame, v: Value):
+        if isinstance(v, (Instr, Param)):
+            return frame.shadows.get(v)
+        return None
+
+    def call_function(self, func: Function,
+                      args: list[int],
+                      arg_shadows: list | None = None) -> list[int]:
+        values, _shadows = self._call(func, args, arg_shadows,
+                                      STACK_TOP)
+        return values
+
+    def _call(self, func: Function, args: list[int],
+              arg_shadows: list | None, sp: int) -> tuple[list[int],
+                                                          list]:
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{func.name}: called with {len(args)} args, wants "
+                f"{len(func.params)}")
+        frame = Frame(func, self._next_frame_id, sp)
+        self._next_frame_id += 1
+        for param, value in zip(func.params, args):
+            frame.values[param] = value & MASK32
+        if self.shadow is not None:
+            shadows = list(arg_shadows or [None] * len(args))
+            replaced = self.shadow.call_enter(func, frame.frame_id,
+                                              list(args), shadows)
+            if replaced is not None:
+                shadows = replaced
+            for param, sh in zip(func.params, shadows):
+                frame.shadows[param] = sh
+
+        block = func.entry
+        prev_block = None
+        while True:
+            # Phis first, evaluated simultaneously against prev_block.
+            phis = block.phis()
+            if phis:
+                if prev_block is None:
+                    raise InterpError(
+                        f"{func.name}: phi in entry block {block.name}")
+                # Phis execute in parallel: evaluate every incoming value
+                # against the pre-transition state before assigning any
+                # (swap patterns break under sequential update).
+                staged = []
+                for phi in phis:
+                    incoming = phi.value_for(prev_block)
+                    staged.append((phi, self._eval(frame, incoming),
+                                   self._shadow_of(frame, incoming)
+                                   if self.shadow is not None else None))
+                for phi, value, shadow in staged:
+                    frame.values[phi] = value
+                    if self.shadow is not None:
+                        frame.shadows[phi] = shadow
+
+            for instr in block.instrs[len(phis):]:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpError("interpreter step budget exceeded")
+                outcome = self._exec(frame, instr)
+                if outcome is None:
+                    continue
+                kind, payload = outcome
+                if kind == "ret":
+                    values, shadows = payload
+                    if self.shadow is not None:
+                        translated = self.shadow.call_exit(
+                            func, frame.frame_id, values, shadows)
+                        if translated is not None:
+                            shadows = translated
+                    return values, shadows
+                # branch
+                prev_block, block = block, payload
+                break
+            else:
+                raise InterpError(
+                    f"{func.name}/{block.name}: fell off block end")
+
+    # -- instruction execution ----------------------------------------------
+
+    def _exec(self, frame: Frame, instr: Instr):
+        """Execute one instruction.
+
+        Returns None to continue, ("ret", (values, shadows)), or
+        ("br", target_block).
+        """
+        if isinstance(instr, BinOp):
+            a = self._eval(frame, instr.lhs)
+            b = self._eval(frame, instr.rhs)
+            result = self._binop(instr.opcode, a, b, frame.function.name)
+            frame.values[instr] = result
+            self._notify(frame, instr, [instr.lhs, instr.rhs], result)
+            return None
+        if isinstance(instr, ICmp):
+            a = self._eval(frame, instr.lhs)
+            b = self._eval(frame, instr.rhs)
+            result = 1 if self._icmp(instr.pred, a, b) else 0
+            frame.values[instr] = result
+            self._notify(frame, instr, [instr.lhs, instr.rhs], result)
+            return None
+        if isinstance(instr, Unary):
+            a = self._eval(frame, instr.src)
+            result = self._unary(instr.opcode, a)
+            frame.values[instr] = result
+            self._notify(frame, instr, [instr.src], result)
+            return None
+        if isinstance(instr, Load):
+            addr = self._eval(frame, instr.addr)
+            value = self.mem.read(addr, instr.size)
+            frame.values[instr] = value
+            if self.shadow is not None:
+                frame.shadows[instr] = self.shadow.on_load(
+                    frame.frame_id, instr, addr, value)
+            return None
+        if isinstance(instr, Store):
+            addr = self._eval(frame, instr.addr)
+            value = self._eval(frame, instr.value)
+            self.mem.write(addr, instr.size, value)
+            if self.shadow is not None:
+                self.shadow.on_store(frame.frame_id, instr, addr, value,
+                                     self._shadow_of(frame, instr.value))
+            return None
+        if isinstance(instr, Alloca):
+            align = max(instr.align, 1)
+            frame.sp = (frame.sp - instr.size) & ~(align - 1)
+            frame.values[instr] = frame.sp
+            self._notify(frame, instr, [], frame.sp)
+            return None
+        if isinstance(instr, Phi):
+            raise InterpError("phi executed out of band")
+        if isinstance(instr, Call):
+            return self._do_call(frame, instr,
+                                 self.module.functions.get(
+                                     instr.callee.name),
+                                 instr.args)
+        if isinstance(instr, CallInd):
+            target = self._eval(frame, instr.target)
+            name = self._addr_to_func.get(target)
+            if name is None:
+                raise InterpError(
+                    f"indirect call to unknown address {target:#x}")
+            return self._do_call(frame, instr, self.module.functions[name],
+                                 instr.args)
+        if isinstance(instr, CallExt):
+            return self._do_callext(frame, instr)
+        if isinstance(instr, Result):
+            bundle = frame.values[instr.call]
+            frame.values[instr] = bundle[instr.index]  # type: ignore
+            if self.shadow is not None:
+                shadow_bundle = frame.shadows.get(instr.call)
+                frame.shadows[instr] = (
+                    shadow_bundle[instr.index]
+                    if isinstance(shadow_bundle, list) else None)
+            return None
+        if isinstance(instr, Intrinsic):
+            if self.intrinsic_handler is not None:
+                args = [self._eval(frame, a) for a in instr.ops]
+                self.intrinsic_handler(frame, instr, args)
+            return None
+        if isinstance(instr, Br):
+            return ("br", instr.target)
+        if isinstance(instr, CondBr):
+            cond = self._eval(frame, instr.cond)
+            return ("br", instr.if_true if cond else instr.if_false)
+        if isinstance(instr, Switch):
+            value = self._eval(frame, instr.value)
+            for case, target in instr.cases:
+                if (case & MASK32) == value:
+                    return ("br", target)
+            return ("br", instr.default)
+        if isinstance(instr, Ret):
+            values = [self._eval(frame, v) for v in instr.ops]
+            shadows = [self._shadow_of(frame, v) for v in instr.ops] \
+                if self.shadow is not None else []
+            return ("ret", (values, shadows))
+        if isinstance(instr, Unreachable):
+            raise InterpError(
+                f"{frame.function.name}: reached untraced path "
+                f"({instr.note})")
+        raise InterpError(f"unimplemented instruction {instr!r}")
+
+    def _notify(self, frame: Frame, instr: Instr, operands: list[Value],
+                result: int | None) -> None:
+        if self.shadow is not None:
+            op_shadows = [self._shadow_of(frame, op) for op in operands]
+            frame.shadows[instr] = self.shadow.on_instr(
+                frame.frame_id, instr, op_shadows, result)
+
+    def _do_call(self, frame: Frame, instr, callee: Function | None,
+                 arg_values: list[Value]):
+        if callee is None:
+            raise InterpError("call to unknown function")
+        if self.shadow is not None and isinstance(instr, CallInd):
+            self.shadow.on_indirect_call(callee)
+        args = [self._eval(frame, a) for a in arg_values]
+        shadows = [self._shadow_of(frame, a) for a in arg_values] \
+            if self.shadow is not None else None
+        # The callee's allocas live below this frame's cursor (with a
+        # small red zone for alignment).
+        rets, ret_shadows = self._call(callee, args, shadows,
+                                       (frame.sp - 32) & ~15)
+        if instr.nresults == 1:
+            frame.values[instr] = rets[0] if rets else 0
+        else:
+            frame.values[instr] = rets
+        if self.shadow is not None:
+            if instr.nresults == 1:
+                frame.shadows[instr] = ret_shadows[0] if ret_shadows \
+                    else None
+            else:
+                frame.shadows[instr] = list(ret_shadows)
+        return None
+
+    def _do_callext(self, frame: Frame, instr: CallExt):
+        if instr.stack_args:
+            sp = self._eval(frame, instr.sp)
+            if self.callext_hook is not None:
+                self.callext_hook(frame, instr, sp, None)
+            result = self.libc.call(instr.ext_name,
+                                    StackArgs(self.mem, sp))
+        else:
+            values = [self._eval(frame, a) for a in instr.args]
+            if self.shadow is not None:
+                self.shadow.on_callext(
+                    frame.frame_id, instr, values,
+                    [self._shadow_of(frame, a) for a in instr.args])
+            if self.callext_hook is not None:
+                self.callext_hook(frame, instr, None, values)
+            result = self.libc.call(instr.ext_name, ListArgs(values))
+        frame.values[instr] = result
+        if self.shadow is not None:
+            frame.shadows[instr] = None
+        return None
+
+    # -- scalar ops ----------------------------------------------------------
+
+    def _binop(self, op: str, a: int, b: int, where: str) -> int:
+        if op == "add":
+            return (a + b) & MASK32
+        if op == "sub":
+            return (a - b) & MASK32
+        if op == "mul":
+            return (_signed(a) * _signed(b)) & MASK32
+        if op == "div":
+            if _signed(b) == 0:
+                raise InterpError(f"{where}: division by zero")
+            return int(_signed(a) / _signed(b)) & MASK32
+        if op == "rem":
+            sb = _signed(b)
+            if sb == 0:
+                raise InterpError(f"{where}: remainder by zero")
+            sa = _signed(a)
+            return (sa - int(sa / sb) * sb) & MASK32
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return (a << (b & 31)) & MASK32
+        if op == "shr":
+            return (a & MASK32) >> (b & 31)
+        if op == "sar":
+            return (_signed(a) >> (b & 31)) & MASK32
+        raise InterpError(f"bad binop {op}")
+
+    @staticmethod
+    def _icmp(pred: str, a: int, b: int) -> bool:
+        if pred == "eq":
+            return a == b
+        if pred == "ne":
+            return a != b
+        sa, sb = _signed(a), _signed(b)
+        if pred == "slt":
+            return sa < sb
+        if pred == "sle":
+            return sa <= sb
+        if pred == "sgt":
+            return sa > sb
+        if pred == "sge":
+            return sa >= sb
+        if pred == "ult":
+            return a < b
+        if pred == "ule":
+            return a <= b
+        if pred == "ugt":
+            return a > b
+        if pred == "uge":
+            return a >= b
+        raise InterpError(f"bad icmp predicate {pred}")
+
+    @staticmethod
+    def _unary(op: str, a: int) -> int:
+        if op == "neg":
+            return (-a) & MASK32
+        if op == "not":
+            return (~a) & MASK32
+        if op == "sext8":
+            v = a & 0xFF
+            return (v | 0xFFFFFF00) if v & 0x80 else v
+        if op == "sext16":
+            v = a & 0xFFFF
+            return (v | 0xFFFF0000) if v & 0x8000 else v
+        if op == "zext8":
+            return a & 0xFF
+        if op == "zext16":
+            return a & 0xFFFF
+        if op == "trunc8":
+            return a & 0xFF
+        if op == "trunc16":
+            return a & 0xFFFF
+        raise InterpError(f"bad unary op {op}")
+
+
+def run_module(module: Module,
+               input_items: list[int | bytes] | None = None,
+               **kwargs) -> InterpResult:
+    """Convenience wrapper mirroring :func:`repro.emu.run_binary`."""
+    return Interpreter(module, input_items, **kwargs).run()

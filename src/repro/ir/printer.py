@@ -1,0 +1,31 @@
+"""Textual rendering of IR modules (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from .module import Function, Module
+
+
+def function_to_text(func: Function) -> str:
+    func.renumber()
+    params = ", ".join(f"%{p.name}" for p in func.params)
+    header = f"func @{func.name}({params}) -> {func.nresults}"
+    if func.orig_entry is not None:
+        header += f"  ; orig {func.orig_entry:#x}"
+    lines = [header + " {"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instrs:
+            lines.append(f"  {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_text(module: Module) -> str:
+    lines = [f"; module {module.name}"]
+    for g in module.globals.values():
+        pin = f" @ {g.fixed_addr:#x}" if g.fixed_addr is not None else ""
+        lines.append(f"global @{g.name} [{g.size} bytes]{pin}")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(function_to_text(func))
+    return "\n".join(lines) + "\n"

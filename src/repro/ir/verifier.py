@@ -1,0 +1,133 @@
+"""IR verifier: structural well-formedness checks.
+
+Run after every transformation in tests; catching a malformed rewrite at
+the pass boundary is vastly cheaper than debugging a miscompare three
+stages later.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .module import Function, Module
+from .values import (
+    Call,
+    CallInd,
+    Const,
+    FuncRef,
+    GlobalRef,
+    Instr,
+    Param,
+    Phi,
+    Result,
+    Ret,
+    Value,
+)
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions.values():
+        verify_function(func, module)
+
+
+def verify_function(func: Function, module: Module | None = None) -> None:
+    if not func.blocks:
+        raise IRError(f"{func.name}: function has no blocks")
+
+    defined: set[Instr] = set()
+    block_set = set(func.blocks)
+    for block in func.blocks:
+        if not block.is_terminated:
+            raise IRError(f"{func.name}/{block.name}: missing terminator")
+        for i, instr in enumerate(block.instrs):
+            if instr.is_terminator and i != len(block.instrs) - 1:
+                raise IRError(
+                    f"{func.name}/{block.name}: terminator mid-block")
+            if isinstance(instr, Phi) and i > len(block.phis()) - 1:
+                raise IRError(
+                    f"{func.name}/{block.name}: phi below non-phi")
+            defined.add(instr)
+
+    preds = func.predecessors()
+    params = set(func.params)
+    for block in func.blocks:
+        for instr in block.instrs:
+            for op in instr.operands():
+                _check_operand(func, block.name, op, defined, params,
+                               block_set, module)
+        for phi in block.phis():
+            phi_preds = set(phi.blocks)
+            actual = set(preds[block])
+            if phi_preds != actual:
+                names = sorted(b.name for b in phi_preds ^ actual)
+                raise IRError(
+                    f"{func.name}/{block.name}: phi incoming blocks "
+                    f"disagree with predecessors ({names})")
+        if block.is_terminated:
+            for succ in block.successors():
+                if succ not in block_set:
+                    raise IRError(
+                        f"{func.name}/{block.name}: successor "
+                        f"{succ.name} not in function")
+
+    # Result extraction and return arity.
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Result):
+                call = instr.call
+                if not isinstance(call, (Call, CallInd)):
+                    raise IRError(f"{func.name}: result of non-call")
+                if not 0 <= instr.index < call.nresults:
+                    raise IRError(
+                        f"{func.name}: result index {instr.index} out of "
+                        f"range for {call.nresults}-result call")
+            if isinstance(instr, Ret) and len(instr.ops) != func.nresults:
+                raise IRError(
+                    f"{func.name}: ret carries {len(instr.ops)} values, "
+                    f"function declares {func.nresults}")
+
+    if module is not None:
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    callee = module.functions.get(instr.callee.name)
+                    if callee is None:
+                        raise IRError(
+                            f"{func.name}: call to unknown function "
+                            f"{instr.callee.name}")
+                    if len(instr.args) != len(callee.params):
+                        raise IRError(
+                            f"{func.name}: call to {callee.name} passes "
+                            f"{len(instr.args)} args, callee takes "
+                            f"{len(callee.params)}")
+                    if instr.nresults != callee.nresults:
+                        raise IRError(
+                            f"{func.name}: call to {callee.name} expects "
+                            f"{instr.nresults} results, callee returns "
+                            f"{callee.nresults}")
+
+
+def _check_operand(func: Function, where: str, op: Value,
+                   defined: set[Instr], params: set[Param],
+                   block_set: set, module: Module | None) -> None:
+    if isinstance(op, Const):
+        return
+    if isinstance(op, Param):
+        if op not in params:
+            raise IRError(f"{func.name}/{where}: foreign parameter {op!r}")
+        return
+    if isinstance(op, GlobalRef):
+        if module is not None and op.name not in module.globals:
+            raise IRError(f"{func.name}/{where}: unknown global {op.name}")
+        return
+    if isinstance(op, FuncRef):
+        if module is not None and op.name not in module.functions:
+            raise IRError(f"{func.name}/{where}: unknown function ref "
+                          f"{op.name}")
+        return
+    if isinstance(op, Instr):
+        if op not in defined:
+            raise IRError(
+                f"{func.name}/{where}: use of instruction not in function: "
+                f"{op!r}")
+        return
+    raise IRError(f"{func.name}/{where}: bad operand {op!r}")

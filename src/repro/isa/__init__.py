@@ -1,0 +1,54 @@
+"""The repro 32-bit instruction set architecture.
+
+Public surface: register views (:class:`Reg` and the ``EAX``-style
+singletons), instruction/operand construction (:func:`ins`, :func:`jcc`,
+:class:`Imm`, :class:`Mem`, :class:`Label`, :class:`ImportRef`), the
+two-pass :func:`assemble`, and the :class:`Disassembler`.
+"""
+
+from .assembler import AsmFunction, AsmItem, AsmProgram, DataItem, assemble
+from .disassembler import Disassembler
+from .instructions import (
+    CONDITION_CODES,
+    MNEMONICS,
+    Imm,
+    ImportRef,
+    Instruction,
+    Label,
+    Mem,
+    Operand,
+    ins,
+    jcc,
+    setcc,
+)
+from .registers import (
+    AH,
+    AL,
+    ALLOCATABLE,
+    AX,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    CL,
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    ESI,
+    ESP,
+    GPR32,
+    Reg,
+    read_view,
+    reg,
+    write_view,
+)
+
+__all__ = [
+    "AH", "AL", "ALLOCATABLE", "AX", "CALLEE_SAVED", "CALLER_SAVED", "CL",
+    "CONDITION_CODES", "Disassembler", "EAX", "EBP", "EBX", "ECX", "EDI",
+    "EDX", "ESI", "ESP", "GPR32", "Imm", "ImportRef", "Instruction", "Label",
+    "Mem", "MNEMONICS", "Operand", "Reg", "AsmFunction", "AsmItem",
+    "AsmProgram", "DataItem", "assemble", "ins", "jcc", "read_view", "reg",
+    "setcc", "write_view",
+]

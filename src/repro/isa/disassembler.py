@@ -1,0 +1,59 @@
+"""Disassembler for the repro ISA.
+
+Provides decode-at-address (what the emulator and dynamic tracer use — the
+paper's approach never requires a static linear sweep to be correct) plus a
+whole-text linear listing used for debugging and by the static baseline
+(:mod:`repro.baselines.secondwrite`), which, like real static rewriters,
+depends on the text section decoding linearly.
+"""
+
+from __future__ import annotations
+
+from ..binary.image import BinaryImage
+from ..errors import EncodingError
+from . import encoding
+from .instructions import Instruction
+
+
+class Disassembler:
+    """Caching instruction decoder over a binary image's text section."""
+
+    def __init__(self, image: BinaryImage):
+        self._image = image
+        self._text = image.text
+        self._cache: dict[int, Instruction] = {}
+
+    def at(self, addr: int) -> Instruction:
+        """Decode (with caching) the instruction at virtual address."""
+        cached = self._cache.get(addr)
+        if cached is not None:
+            return cached
+        if not self._text.contains(addr):
+            raise EncodingError(f"address {addr:#x} outside text section")
+        instr, _size = encoding.decode(self._text.data,
+                                       addr - self._text.base,
+                                       self._image.imports)
+        instr.addr = addr
+        self._cache[addr] = instr
+        return instr
+
+    def linear(self) -> list[Instruction]:
+        """Linear sweep of the whole text section."""
+        out = []
+        addr = self._text.base
+        while addr < self._text.end:
+            instr = self.at(addr)
+            out.append(instr)
+            addr += instr.size
+        return out
+
+    def listing(self) -> str:
+        """Human-readable disassembly with symbol annotations."""
+        by_addr = {a: n for n, a in self._image.symbols.items()}
+        lines = []
+        for instr in self.linear():
+            name = by_addr.get(instr.addr)
+            if name is not None:
+                lines.append(f"{name}:")
+            lines.append(f"  {instr!r}")
+        return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Instruction and operand model for the repro 32-bit ISA.
+
+The instruction set is a compact subset of x86-32 that keeps every
+behaviour the paper's analyses depend on: ``esp``/``ebp`` stack discipline
+(push/pop/call/ret/leave), base+index*scale+disp addressing, partial
+register writes, flag-driven conditional branches, and indirect control
+flow (jump tables, function pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registers import Reg
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand. Values are stored as signed 32-bit ints."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code/data reference, resolved to an address at link time.
+
+    ``addend`` supports ``symbol + constant`` references (e.g. a direct
+    access to the third element of a global array).
+    """
+
+    name: str
+    addend: int = 0
+
+    def __repr__(self) -> str:
+        if self.addend:
+            return f"{self.name}+{self.addend}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]`` of ``size`` bytes.
+
+    Before assembly the displacement may be a :class:`Label` (a global
+    symbol); the assembler resolves it to an absolute address.
+    """
+
+    base: Reg | None = None
+    index: Reg | None = None
+    scale: int = 1
+    disp: "int | Label" = 0
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale {self.scale}")
+        if self.size not in (1, 2, 4):
+            raise ValueError(f"bad access size {self.size}")
+        if self.base is not None and self.base.width != 4:
+            raise ValueError("memory base must be a 32-bit register")
+        if self.index is not None and self.index.width != 4:
+            raise ValueError("memory index must be a 32-bit register")
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        addr = "+".join(parts) if parts else ""
+        if isinstance(self.disp, Label):
+            addr = f"{addr}+{self.disp.name}" if parts else self.disp.name
+        elif self.disp or not parts:
+            sign = "+" if self.disp >= 0 and parts else ""
+            addr = f"{addr}{sign}{self.disp}" if parts else f"{self.disp:#x}"
+        return f"{{{self.size}}}[{addr}]"
+
+
+@dataclass(frozen=True)
+class ImportRef:
+    """A reference to an external (dynamically linked) function by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Reg | Imm | Mem | Label | ImportRef
+
+# ---------------------------------------------------------------------------
+# Instruction set
+# ---------------------------------------------------------------------------
+
+#: Condition codes shared by Jcc and SETcc. Mapping to flag predicates lives
+#: in the emulator (:mod:`repro.emu.cpu`).
+CONDITION_CODES = (
+    "e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns",
+)
+
+#: All mnemonics understood by the assembler, emulator and lifter.
+MNEMONICS = (
+    "mov", "movzx", "movsx", "lea",
+    "push", "pop",
+    "add", "sub", "and", "or", "xor", "neg", "not",
+    "imul", "cdq", "idiv",
+    "shl", "shr", "sar",
+    "inc", "dec",
+    "cmp", "test",
+    "jmp", "jcc", "call", "ret", "leave",
+    "setcc",
+    "nop", "hlt",
+)
+
+_ARITH_FLAGS = {"add", "sub", "and", "or", "xor", "neg", "imul",
+                "shl", "shr", "sar", "inc", "dec", "cmp", "test"}
+
+
+@dataclass
+class Instruction:
+    """A single decoded/assembled machine instruction.
+
+    ``addr`` and ``size`` are filled in by the assembler/disassembler; they
+    are ``None`` for instructions that have not been placed yet.
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    cc: str | None = None
+    addr: int | None = None
+    size: int | None = None
+    #: Free-form annotation used by compilers for debugging listings.
+    comment: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in MNEMONICS:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        if self.mnemonic in ("jcc", "setcc"):
+            if self.cc not in CONDITION_CODES:
+                raise ValueError(f"bad condition code {self.cc!r}")
+        elif self.cc is not None:
+            raise ValueError(f"{self.mnemonic} takes no condition code")
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.mnemonic in _ARITH_FLAGS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in ("jmp", "jcc", "call", "ret", "hlt")
+
+    @property
+    def name(self) -> str:
+        """Display mnemonic, with the condition code folded in."""
+        if self.mnemonic == "jcc":
+            return f"j{self.cc}"
+        if self.mnemonic == "setcc":
+            return f"set{self.cc}"
+        return self.mnemonic
+
+    def __repr__(self) -> str:
+        ops = ", ".join(repr(o) for o in self.operands)
+        loc = f"{self.addr:#x}: " if self.addr is not None else ""
+        note = f"  # {self.comment}" if self.comment else ""
+        return f"{loc}{self.name} {ops}".rstrip() + note
+
+
+# Convenience constructors keep compiler/lifter code terse and readable.
+
+def ins(mnemonic: str, *operands: Operand, cc: str | None = None,
+        comment: str = "") -> Instruction:
+    """Build an :class:`Instruction` (shorthand used across the codebase)."""
+    return Instruction(mnemonic, tuple(operands), cc=cc, comment=comment)
+
+
+def jcc(cc: str, target: Operand) -> Instruction:
+    return Instruction("jcc", (target,), cc=cc)
+
+
+def setcc(cc: str, dst: Reg) -> Instruction:
+    return Instruction("setcc", (dst,), cc=cc)

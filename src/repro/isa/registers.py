@@ -1,0 +1,135 @@
+"""Register file definition for the repro 32-bit ISA.
+
+The ISA mirrors the x86-32 general purpose register file, including the
+16-bit and 8-bit sub-register views that the paper's "false derive"
+discussion (Section 4.2.3) depends on: writing ``al`` or ``ax`` must leave
+the upper bits of ``eax`` intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Canonical 32-bit register names, in x86 encoding order.
+GPR32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+GPR16 = ("ax", "cx", "dx", "bx", "sp", "bp", "si", "di")
+GPR8_LOW = ("al", "cl", "dl", "bl")
+GPR8_HIGH = ("ah", "ch", "dh", "bh")
+
+#: Registers usable for allocation by compilers (esp is the stack pointer).
+ALLOCATABLE = ("eax", "ecx", "edx", "ebx", "esi", "edi")
+
+#: Registers that the repro calling conventions treat as callee-saved.
+CALLEE_SAVED = ("ebx", "esi", "edi", "ebp")
+
+#: Registers that are caller-saved (clobbered by calls).
+CALLER_SAVED = ("eax", "ecx", "edx")
+
+FLAG_NAMES = ("zf", "sf", "cf", "of")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A view of a general-purpose register.
+
+    ``index`` is the x86 encoding index of the full 32-bit register.
+    ``width`` is the view width in bytes (1, 2 or 4) and ``high8`` selects
+    the ``ah``-style high-byte view when ``width == 1``.
+    """
+
+    index: int
+    width: int = 4
+    high8: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 8:
+            raise ValueError(f"bad register index {self.index}")
+        if self.width not in (1, 2, 4):
+            raise ValueError(f"bad register width {self.width}")
+        if self.high8 and (self.width != 1 or self.index >= 4):
+            raise ValueError("high-byte views exist only for a/c/d/b")
+        if self.width == 1 and self.index >= 4 and not self.high8:
+            raise ValueError("8-bit low views exist only for a/c/d/b")
+
+    @property
+    def name(self) -> str:
+        if self.width == 4:
+            return GPR32[self.index]
+        if self.width == 2:
+            return GPR16[self.index]
+        if self.high8:
+            return GPR8_HIGH[self.index]
+        return GPR8_LOW[self.index]
+
+    @property
+    def full(self) -> "Reg":
+        """The containing 32-bit register."""
+        return Reg(self.index)
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+def _build_name_table() -> dict[str, Reg]:
+    table: dict[str, Reg] = {}
+    for i, name in enumerate(GPR32):
+        table[name] = Reg(i, 4)
+    for i, name in enumerate(GPR16):
+        table[name] = Reg(i, 2)
+    for i, name in enumerate(GPR8_LOW):
+        table[name] = Reg(i, 1)
+    for i, name in enumerate(GPR8_HIGH):
+        table[name] = Reg(i, 1, high8=True)
+    return table
+
+
+_BY_NAME = _build_name_table()
+
+
+def reg(name: str) -> Reg:
+    """Look up a register view by its assembly name (e.g. ``"eax"``)."""
+    try:
+        return _BY_NAME[name.lower().lstrip("%")]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None
+
+
+# Convenience singletons used pervasively by the compiler and lifter.
+EAX = reg("eax")
+ECX = reg("ecx")
+EDX = reg("edx")
+EBX = reg("ebx")
+ESP = reg("esp")
+EBP = reg("ebp")
+ESI = reg("esi")
+EDI = reg("edi")
+AL = reg("al")
+AX = reg("ax")
+AH = reg("ah")
+CL = reg("cl")
+
+
+def read_view(value32: int, r: Reg) -> int:
+    """Extract the value of register view ``r`` from a full 32-bit value."""
+    if r.width == 4:
+        return value32 & 0xFFFFFFFF
+    if r.width == 2:
+        return value32 & 0xFFFF
+    if r.high8:
+        return (value32 >> 8) & 0xFF
+    return value32 & 0xFF
+
+
+def write_view(value32: int, r: Reg, new: int) -> int:
+    """Merge a write to view ``r`` into the full 32-bit register value.
+
+    Partial writes leave unrelated bits untouched, matching x86-32 (this is
+    what creates the paper's false-derive hazard).
+    """
+    if r.width == 4:
+        return new & 0xFFFFFFFF
+    if r.width == 2:
+        return (value32 & 0xFFFF0000) | (new & 0xFFFF)
+    if r.high8:
+        return (value32 & 0xFFFF00FF) | ((new & 0xFF) << 8)
+    return (value32 & 0xFFFFFF00) | (new & 0xFF)

@@ -1,0 +1,26 @@
+"""Binary lifting: trace-driven CFG recovery, function recovery, and
+machine-to-IR translation (the BinRec/RevGen analogue)."""
+
+from .cfg import MachineBlock, RecoveredCFG, recover_cfg
+from .function_recovery import (
+    RecoveredFunction,
+    callable_entries,
+    recover_functions,
+)
+from .translator import (
+    EMUSTACK_BASE,
+    EMUSTACK_NAME,
+    EMUSTACK_SIZE,
+    FLAG_ORDER,
+    REG_ORDER,
+    FunctionTranslator,
+    lift_binary,
+    lift_traces,
+)
+
+__all__ = [
+    "EMUSTACK_BASE", "EMUSTACK_NAME", "EMUSTACK_SIZE", "FLAG_ORDER",
+    "FunctionTranslator", "MachineBlock", "REG_ORDER", "RecoveredCFG",
+    "RecoveredFunction", "callable_entries", "lift_binary", "lift_traces",
+    "recover_cfg", "recover_functions",
+]

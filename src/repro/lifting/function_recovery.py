@@ -1,0 +1,104 @@
+"""Function recovery over the traced CFG (paper §5.1, Nucleus-style).
+
+Function entries are the targets of (direct or indirect) calls, plus the
+binary entry point.  Jumps that land on another function's entry are tail
+calls.  Blocks reachable from multiple entries are split into functions of
+their own using the paper's rule: a block contained in more functions
+than any of its predecessors becomes a new entry.  Functions reachable
+exclusively through one tail call and never called normally are merged
+into their caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import MachineBlock, RecoveredCFG
+
+
+@dataclass
+class RecoveredFunction:
+    entry: int
+    blocks: dict[int, MachineBlock] = field(default_factory=dict)
+    #: Jump sites in this function that are tail calls, with targets.
+    tail_calls: dict[int, set[int]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"fn_{self.entry:08x}"
+
+
+def _reachable(cfg: RecoveredCFG, entry: int,
+               entries: set[int]) -> tuple[dict[int, MachineBlock],
+                                           dict[int, set[int]]]:
+    """Blocks reachable from ``entry`` via jump/fallthrough edges,
+    stopping at other entries (tail-call boundaries)."""
+    blocks: dict[int, MachineBlock] = {}
+    tail_calls: dict[int, set[int]] = {}
+    work = [entry]
+    while work:
+        addr = work.pop()
+        if addr in blocks:
+            continue
+        block = cfg.blocks.get(addr)
+        if block is None:
+            continue
+        blocks[addr] = block
+        for succ in block.succs:
+            if succ in entries and succ != entry:
+                # Jump to another function's entry: a tail call --
+                # unless it is the return site after a call instruction.
+                if block.terminator.mnemonic in ("jmp", "jcc"):
+                    tail_calls.setdefault(block.terminator.addr,
+                                          set()).add(succ)
+                    continue
+            work.append(succ)
+    return blocks, tail_calls
+
+
+def recover_functions(cfg: RecoveredCFG) -> dict[int, RecoveredFunction]:
+    """Partition traced blocks into single-entry functions."""
+    entries: set[int] = {cfg.entry}
+    for targets in cfg.call_targets.values():
+        entries.update(targets)
+
+    # Iteratively split shared blocks into new entries (paper's rule).
+    for _round in range(64):
+        bodies = {e: _reachable(cfg, e, entries)[0] for e in entries}
+        containment: dict[int, int] = {}
+        for body in bodies.values():
+            for addr in body:
+                containment[addr] = containment.get(addr, 0) + 1
+        preds: dict[int, set[int]] = {}
+        for body in bodies.values():
+            for addr, block in body.items():
+                for succ in block.succs:
+                    preds.setdefault(succ, set()).add(addr)
+        new_entries: set[int] = set()
+        for addr, count in containment.items():
+            if addr in entries or count < 2:
+                continue
+            pred_counts = [containment.get(p, 0)
+                           for p in preds.get(addr, ())]
+            if not pred_counts or count > max(pred_counts):
+                new_entries.add(addr)
+        if not new_entries:
+            break
+        entries |= new_entries
+
+    functions: dict[int, RecoveredFunction] = {}
+    for entry in sorted(entries):
+        blocks, tail_calls = _reachable(cfg, entry, entries)
+        if blocks:
+            functions[entry] = RecoveredFunction(entry, blocks,
+                                                 tail_calls)
+    return functions
+
+
+def callable_entries(cfg: RecoveredCFG,
+                     functions: dict[int, RecoveredFunction]) -> set[int]:
+    """Entries that are the target of at least one regular call."""
+    called: set[int] = {cfg.entry}
+    for targets in cfg.call_targets.values():
+        called.update(targets)
+    return called & set(functions)

@@ -1,0 +1,135 @@
+"""CFG analyses shared by optimizer passes: reachability, dominators,
+dominance frontiers, and use counting."""
+
+from __future__ import annotations
+
+from ..ir.module import Block, Function
+from ..ir.values import Instr, Value
+
+
+def reachable_blocks(func: Function) -> list[Block]:
+    """Blocks reachable from entry, in depth-first discovery order."""
+    seen: set[Block] = set()
+    order: list[Block] = []
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        order.append(block)
+        if block.is_terminated:
+            stack.extend(reversed(block.successors()))
+    return order
+
+
+def postorder(func: Function) -> list[Block]:
+    seen: set[Block] = set()
+    order: list[Block] = []
+
+    def visit(block: Block) -> None:
+        seen.add(block)
+        for succ in block.successors():
+            if succ not in seen:
+                visit(succ)
+        order.append(block)
+
+    visit(func.entry)
+    return order
+
+
+class Dominators:
+    """Immediate dominators and dominance frontiers.
+
+    Cooper-Harvey-Kennedy iterative algorithm over reverse postorder.
+    Only reachable blocks participate; passes should prune unreachable
+    blocks first (see :func:`repro.opt.simplifycfg.remove_unreachable`).
+    """
+
+    def __init__(self, func: Function):
+        self.func = func
+        rpo = list(reversed(postorder(func)))
+        self.rpo = rpo
+        index = {b: i for i, b in enumerate(rpo)}
+        preds = func.predecessors()
+        idom: dict[Block, Block] = {func.entry: func.entry}
+
+        def intersect(a: Block, b: Block) -> Block:
+            while a is not b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo[1:]:
+                candidates = [p for p in preds[block]
+                              if p in idom and p in index]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom.get(block) is not new:
+                    idom[block] = new
+                    changed = True
+        self.idom = idom
+
+        self.frontiers: dict[Block, set[Block]] = {b: set() for b in rpo}
+        for block in rpo:
+            block_preds = [p for p in preds[block] if p in index]
+            if len(block_preds) >= 2:
+                for p in block_preds:
+                    runner = p
+                    while runner is not idom[block]:
+                        self.frontiers[runner].add(block)
+                        runner = self.idom[runner]
+
+        self._children: dict[Block, list[Block]] = {b: [] for b in rpo}
+        for block in rpo:
+            if block is not func.entry:
+                self._children[self.idom[block]].append(block)
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        runner = b
+        while True:
+            if runner is a:
+                return True
+            parent = self.idom.get(runner)
+            if parent is None or parent is runner:
+                return runner is a
+            runner = parent
+
+    def tree_children(self, block: Block) -> list[Block]:
+        return self._children.get(block, [])
+
+    def tree_preorder(self) -> list[Block]:
+        order: list[Block] = []
+        stack = [self.func.entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.tree_children(block)))
+        return order
+
+
+def use_counts(func: Function) -> dict[Value, int]:
+    counts: dict[Value, int] = {}
+    for instr in func.instructions():
+        for op in instr.operands():
+            if isinstance(op, Instr):
+                counts[op] = counts.get(op, 0) + 1
+    return counts
+
+
+def users_of(func: Function) -> dict[Instr, list[Instr]]:
+    users: dict[Instr, list[Instr]] = {}
+    for instr in func.instructions():
+        for op in instr.operands():
+            if isinstance(op, Instr):
+                users.setdefault(op, []).append(instr)
+    return users

@@ -1,0 +1,107 @@
+"""Pass manager and standard optimization pipelines.
+
+``optimize_module`` is the LLVM ``opt`` analogue used by the MiniC
+compiler personalities and by the recompiler after lifting/symbolization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.module import Function, Module
+from .constfold import fold_constants
+from .dce import eliminate_dead_code
+from .dse import eliminate_dead_stores
+from .flagfuse import fuse_flags
+from .gvn import eliminate_redundant_loads, global_value_numbering
+from .inline import inline_functions
+from .mem2reg import promote_allocas
+from .simplifycfg import simplify_cfg
+
+
+@dataclass(frozen=True)
+class OptOptions:
+    """Knobs that differentiate pipelines (compiler personalities)."""
+
+    level: int = 2                # 0..3
+    inline: bool = True
+    inline_threshold: int = 40
+    gvn: bool = True              # dominator-scoped CSE
+    load_elim: bool = True        # alias-driven load forwarding
+    dse: bool = True
+    rounds: int = 3
+
+    @classmethod
+    def o0(cls) -> "OptOptions":
+        return cls(level=0, inline=False, gvn=False, load_elim=False,
+                   dse=False, rounds=0)
+
+    @classmethod
+    def o1(cls) -> "OptOptions":
+        return cls(level=1, inline=False, gvn=False, load_elim=True,
+                   dse=True, rounds=2)
+
+    @classmethod
+    def o2(cls) -> "OptOptions":
+        return cls(level=2, rounds=2)
+
+    @classmethod
+    def o3(cls) -> "OptOptions":
+        return cls(level=3, inline_threshold=80, rounds=3)
+
+
+def optimize_function(func: Function, module: Module | None = None,
+                      options: OptOptions | None = None) -> None:
+    opts = options or OptOptions()
+    if opts.level == 0:
+        return
+    for _ in range(max(opts.rounds, 1)):
+        changed = False
+        changed |= simplify_cfg(func)
+        changed |= promote_allocas(func)
+        changed |= fold_constants(func)
+        changed |= fuse_flags(func)
+        if opts.gvn:
+            changed |= global_value_numbering(func)
+        if opts.load_elim:
+            changed |= eliminate_redundant_loads(func, module)
+        if opts.dse:
+            changed |= eliminate_dead_stores(func, module)
+        changed |= eliminate_dead_code(func)
+        changed |= simplify_cfg(func)
+        if not changed:
+            break
+
+
+def optimize_module(module: Module,
+                    options: OptOptions | None = None) -> None:
+    opts = options or OptOptions()
+    if opts.level == 0:
+        return
+    for func in module.functions.values():
+        optimize_function(func, module, opts)
+    if opts.inline:
+        if inline_functions(module, max_callee_size=opts.inline_threshold):
+            for func in module.functions.values():
+                optimize_function(func, module, opts)
+    drop_unused_private_functions(module)
+
+
+def drop_unused_private_functions(module: Module) -> None:
+    """Remove functions that are never referenced (post-inlining)."""
+    referenced: set[str] = {module.entry_name}
+    referenced.update(module.address_table.values())
+    for func in module.functions.values():
+        for instr in func.instructions():
+            for op in instr.operands():
+                name = getattr(op, "name", None)
+                if isinstance(name, str) and name in module.functions:
+                    referenced.add(name)
+    for g in module.globals.values():
+        if isinstance(g.init, list):
+            for word in g.init:
+                name = getattr(word, "name", None)
+                if isinstance(name, str) and name in module.functions:
+                    referenced.add(name)
+    module.functions = {name: f for name, f in module.functions.items()
+                        if name in referenced}

@@ -1,0 +1,31 @@
+"""The SPECint-2006-like workload suite (paper §6).
+
+Ten MiniC programs named after and shaped like the paper's benchmarks.
+``WORKLOADS`` maps name -> :class:`~repro.workloads.base.Workload`; the
+order matches Table 1's rows.
+"""
+
+from .base import InputItems, Workload, deterministic_bytes
+from .bzip2 import WORKLOAD as _bzip2
+from .gcc import WORKLOAD as _gcc
+from .mcf import WORKLOAD as _mcf
+from .gobmk import WORKLOAD as _gobmk
+from .hmmer import WORKLOAD as _hmmer
+from .sjeng import WORKLOAD as _sjeng
+from .libquantum import WORKLOAD as _libquantum
+from .h264ref import WORKLOAD as _h264ref
+from .astar import WORKLOAD as _astar
+from .xalancbmk import WORKLOAD as _xalancbmk
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w for w in (
+        _bzip2, _gcc, _mcf, _gobmk, _hmmer, _sjeng,
+        _libquantum, _h264ref, _astar, _xalancbmk,
+    )
+}
+
+#: Table 1 row order.
+WORKLOAD_ORDER = tuple(WORKLOADS)
+
+__all__ = ["InputItems", "WORKLOADS", "WORKLOAD_ORDER", "Workload",
+           "deterministic_bytes"]

@@ -1,0 +1,134 @@
+"""astar stand-in: A* grid pathfinding with a binary-heap open list and
+node structs — struct arrays, heap sift loops, and Manhattan heuristics."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+struct node { int x; int y; int g; int f; };
+
+int grid[400];          /* 20 x 20: 0 free, 1 wall */
+int gscore[400];
+int closed[400];
+struct node heap[512];
+int heap_size;
+int width;
+int height;
+
+void heap_push(int x, int y, int g, int f) {
+    int i = heap_size;
+    heap_size = heap_size + 1;
+    heap[i].x = x; heap[i].y = y; heap[i].g = g; heap[i].f = f;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap[parent].f <= heap[i].f) break;
+        struct node tmp = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = tmp;
+        i = parent;
+    }
+}
+
+void heap_pop(struct node *out) {
+    *out = heap[0];
+    heap_size = heap_size - 1;
+    heap[0] = heap[heap_size];
+    int i = 0;
+    while (1) {
+        int left = i * 2 + 1;
+        int right = i * 2 + 2;
+        int smallest = i;
+        if (left < heap_size && heap[left].f < heap[smallest].f)
+            smallest = left;
+        if (right < heap_size && heap[right].f < heap[smallest].f)
+            smallest = right;
+        if (smallest == i) break;
+        struct node tmp = heap[smallest];
+        heap[smallest] = heap[i];
+        heap[i] = tmp;
+        i = smallest;
+    }
+}
+
+int manhattan(int x, int y, int tx, int ty) {
+    return abs(tx - x) + abs(ty - y);
+}
+
+void build_maze(int seed) {
+    int s = seed;
+    int i;
+    for (i = 0; i < width * height; i++) {
+        s = (s * 1103515245 + 12345) & 2147483647;
+        grid[i] = ((s >> 13) % 10) < 3 ? 1 : 0;
+        gscore[i] = 1000000;
+        closed[i] = 0;
+    }
+    grid[0] = 0;
+    grid[width * height - 1] = 0;
+}
+
+int astar_search(int tx, int ty) {
+    int dx[4]; int dy[4];
+    dx[0] = 1; dx[1] = -1; dx[2] = 0; dx[3] = 0;
+    dy[0] = 0; dy[1] = 0; dy[2] = 1; dy[3] = -1;
+    heap_size = 0;
+    gscore[0] = 0;
+    heap_push(0, 0, 0, manhattan(0, 0, tx, ty));
+    int expanded = 0;
+    while (heap_size > 0) {
+        struct node cur;
+        heap_pop(&cur);
+        int idx = cur.y * width + cur.x;
+        if (closed[idx]) continue;
+        closed[idx] = 1;
+        expanded = expanded + 1;
+        if (cur.x == tx && cur.y == ty) {
+            printf("found: cost %d after %d expansions\n",
+                   cur.g, expanded);
+            return cur.g;
+        }
+        int k;
+        for (k = 0; k < 4; k++) {
+            int nx = cur.x + dx[k];
+            int ny = cur.y + dy[k];
+            if (nx < 0 || ny < 0 || nx >= width || ny >= height)
+                continue;
+            int nidx = ny * width + nx;
+            if (grid[nidx] || closed[nidx]) continue;
+            int ng = cur.g + 1;
+            if (ng < gscore[nidx]) {
+                gscore[nidx] = ng;
+                heap_push(nx, ny, ng, ng + manhattan(nx, ny, tx, ty));
+            }
+        }
+    }
+    printf("unreachable after %d expansions\n", expanded);
+    return -1;
+}
+
+int main() {
+    width = read_int();
+    height = read_int();
+    int seed = read_int();
+    int queries = read_int();
+    int total = 0;
+    int q;
+    for (q = 0; q < queries; q++) {
+        build_maze(seed + q * 7);
+        int cost = astar_search(width - 1, height - 1);
+        total = total + (cost < 0 ? 0 : cost);
+    }
+    printf("total path cost %d over %d queries\n", total, queries);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="astar",
+    source=SOURCE,
+    ref_inputs=(
+        (14, 14, 31337, 4),
+    ),
+    description="A* pathfinding: binary heap open list, struct nodes",
+)

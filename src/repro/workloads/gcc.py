@@ -1,0 +1,186 @@
+"""gcc stand-in: a tiny expression compiler — tokenizer, recursive-descent
+parser emitting stack-machine bytecode, constant folder, and a bytecode
+interpreter.  Deep recursion, switch dispatch, and string handling."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+char source[512];
+char bytecode[2048];
+int bc_len;
+int pos;
+int had_error;
+
+int peek() { return source[pos] & 255; }
+
+int next_token() {
+    while (peek() == ' ') pos = pos + 1;
+    return peek();
+}
+
+void emit(int op, int arg) {
+    bytecode[bc_len] = (char)op;
+    bytecode[bc_len + 1] = (char)(arg & 255);
+    bytecode[bc_len + 2] = (char)((arg >> 8) & 255);
+    bc_len = bc_len + 3;
+}
+
+void parse_expr();
+
+void parse_primary() {
+    int t = next_token();
+    if (t >= '0' && t <= '9') {
+        int value = 0;
+        while (peek() >= '0' && peek() <= '9') {
+            value = value * 10 + (peek() - '0');
+            pos = pos + 1;
+        }
+        emit(1, value);            /* PUSH */
+    } else if (t == '(') {
+        pos = pos + 1;
+        parse_expr();
+        if (next_token() == ')') pos = pos + 1;
+        else had_error = 1;
+    } else if (t == '-') {
+        pos = pos + 1;
+        parse_primary();
+        emit(5, 0);                /* NEG */
+    } else {
+        had_error = 1;
+        pos = pos + 1;
+    }
+}
+
+void parse_term() {
+    parse_primary();
+    while (1) {
+        int t = next_token();
+        if (t == '*') { pos = pos + 1; parse_primary(); emit(4, 0); }
+        else if (t == '/') { pos = pos + 1; parse_primary(); emit(6, 0); }
+        else if (t == '%') { pos = pos + 1; parse_primary(); emit(7, 0); }
+        else break;
+    }
+}
+
+void parse_expr() {
+    parse_term();
+    while (1) {
+        int t = next_token();
+        if (t == '+') { pos = pos + 1; parse_term(); emit(2, 0); }
+        else if (t == '-') { pos = pos + 1; parse_term(); emit(3, 0); }
+        else break;
+    }
+}
+
+int fold_constants() {
+    /* Peephole over bytecode: PUSH a, PUSH b, binop -> PUSH (a op b). */
+    int folded = 0;
+    int changed = 1;
+    while (changed) {
+        changed = 0;
+        int i = 0;
+        while (i + 6 < bc_len) {
+            int op1 = bytecode[i] & 255;
+            int op2 = bytecode[i + 3] & 255;
+            int op3 = bytecode[i + 6] & 255;
+            if (op1 == 1 && op2 == 1 && (op3 == 2 || op3 == 3
+                                         || op3 == 4)) {
+                int a = (bytecode[i + 1] & 255)
+                      | ((bytecode[i + 2] & 255) << 8);
+                int b = (bytecode[i + 4] & 255)
+                      | ((bytecode[i + 5] & 255) << 8);
+                int r;
+                if (op3 == 2) r = a + b;
+                else if (op3 == 3) r = a - b;
+                else r = a * b;
+                r = r & 32767;
+                bytecode[i] = 1;
+                bytecode[i + 1] = (char)(r & 255);
+                bytecode[i + 2] = (char)((r >> 8) & 255);
+                int j = i + 3;
+                while (j + 6 < bc_len + 6) {
+                    bytecode[j] = bytecode[j + 6];
+                    j = j + 1;
+                }
+                bc_len = bc_len - 6;
+                folded = folded + 1;
+                changed = 1;
+            } else {
+                i = i + 3;
+            }
+        }
+    }
+    return folded;
+}
+
+int run_bytecode() {
+    int stack[64];
+    int sp = 0;
+    int i = 0;
+    while (i < bc_len) {
+        int op = bytecode[i] & 255;
+        int arg = (bytecode[i + 1] & 255) | ((bytecode[i + 2] & 255) << 8);
+        switch (op) {
+        case 1: stack[sp] = arg; sp = sp + 1; break;
+        case 2: stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+                sp = sp - 1; break;
+        case 3: stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+                sp = sp - 1; break;
+        case 4: stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+                sp = sp - 1; break;
+        case 5: stack[sp - 1] = -stack[sp - 1]; break;
+        case 6: if (stack[sp - 1])
+                    stack[sp - 2] = stack[sp - 2] / stack[sp - 1];
+                sp = sp - 1; break;
+        case 7: if (stack[sp - 1])
+                    stack[sp - 2] = stack[sp - 2] % stack[sp - 1];
+                sp = sp - 1; break;
+        default: return -999999;
+        }
+        i = i + 3;
+    }
+    if (sp != 1) return -999998;
+    return stack[0];
+}
+
+int main() {
+    int total = 0;
+    int exprs = 0;
+    while (1) {
+        int n = read_buf(source, 511);
+        if (n <= 0) break;
+        source[n] = (char)0;
+        pos = 0; bc_len = 0; had_error = 0;
+        parse_expr();
+        int before = bc_len;
+        int folded = fold_constants();
+        int value = run_bytecode();
+        exprs = exprs + 1;
+        printf("expr %d: %d ops -> %d ops (folded %d) = %d%s\n",
+               exprs, before / 3, bc_len / 3, folded, value,
+               had_error ? " [errors]" : "");
+        total = total + value;
+    }
+    printf("compiled %d expressions, total %d\n", exprs, total);
+    return 0;
+}
+"""
+
+_EXPRESSIONS = (
+    b"1 + 2 * 3 - 4",
+    b"(10 + 20) * (3 - 1) / 4",
+    b"-5 * (7 + 3) + 100 % 7",
+    b"((1+2)*(3+4)-(5-6))*2 + 9 / 3",
+    b"8 * 8 * 8 - 7 * 7 * 7 + 6 * 6",
+    b"(2+3)*(4+5)*(6+7) % 1000 - 42",
+    b"1+2+3+4+5+6+7+8+9+10 * (11 - 9)",
+)
+
+WORKLOAD = Workload(
+    name="gcc",
+    source=SOURCE,
+    ref_inputs=(tuple(_EXPRESSIONS),),
+    description="toy compiler: parse, emit bytecode, fold, execute",
+)

@@ -1,0 +1,110 @@
+"""gobmk stand-in: go-like board analysis — recursive flood fill for
+group liberties on a 2D board, move generation and greedy play with an
+LCG opponent."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+int board[169];        /* 13 x 13, 0 empty / 1 black / 2 white */
+int visited[169];
+int size;
+
+int rng_state;
+int rng() {
+    rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+    return rng_state >> 16;
+}
+
+int liberties(int x, int y, int color) {
+    if (x < 0 || x >= size || y < 0 || y >= size) return 0;
+    int idx = y * size + x;
+    if (visited[idx]) return 0;
+    visited[idx] = 1;
+    int v = board[idx];
+    if (v == 0) return 1;
+    if (v != color) return 0;
+    return liberties(x - 1, y, color) + liberties(x + 1, y, color)
+         + liberties(x, y - 1, color) + liberties(x, y + 1, color);
+}
+
+int group_liberties(int x, int y) {
+    int i;
+    for (i = 0; i < size * size; i++) visited[i] = 0;
+    return liberties(x, y, board[y * size + x]);
+}
+
+int evaluate(int color) {
+    int score = 0;
+    int y;
+    for (y = 0; y < size; y++) {
+        int x;
+        for (x = 0; x < size; x++) {
+            int v = board[y * size + x];
+            if (v == 0) continue;
+            int libs = group_liberties(x, y);
+            if (v == color) score = score + 2 + libs;
+            else score = score - 2 - libs;
+        }
+    }
+    return score;
+}
+
+int best_move(int color) {
+    int best = -1000000;
+    int best_idx = -1;
+    int idx;
+    for (idx = 0; idx < size * size; idx++) {
+        if (board[idx]) continue;
+        if ((idx * 7 + color) % 3) continue;   /* prune candidates */
+        board[idx] = color;
+        int score = evaluate(color);
+        board[idx] = 0;
+        if (score > best) { best = score; best_idx = idx; }
+    }
+    return best_idx;
+}
+
+int main() {
+    size = read_int();
+    rng_state = read_int();
+    int moves = read_int();
+    int i;
+    /* random prelude to give the board structure */
+    for (i = 0; i < size * size / 3; i++) {
+        int idx = rng() % (size * size);
+        if (board[idx] == 0) board[idx] = 1 + (rng() & 1);
+    }
+    int m;
+    for (m = 0; m < moves; m++) {
+        int color = 1 + (m & 1);
+        int idx;
+        if (color == 1) {
+            idx = best_move(1);
+        } else {
+            idx = rng() % (size * size);
+            int tries = 0;
+            while (board[idx] && tries < 20) {
+                idx = rng() % (size * size);
+                tries = tries + 1;
+            }
+            if (board[idx]) idx = -1;
+        }
+        if (idx >= 0) board[idx] = color;
+        printf("move %d: %s plays %d\n", m,
+               color == 1 ? "black" : "white", idx);
+    }
+    printf("final score (black): %d\n", evaluate(1));
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="gobmk",
+    source=SOURCE,
+    ref_inputs=(
+        (6, 99991, 3),
+    ),
+    description="board game analysis: recursive flood fill + greedy play",
+)

@@ -1,0 +1,122 @@
+"""h264ref stand-in: block motion estimation — SAD (sum of absolute
+differences) search of 8x8 blocks between two frames, with a diamond
+refinement step; nested loops over byte arrays and an abs-heavy inner
+kernel."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+char ref_frame[2400];   /* 60 x 40 */
+char cur_frame[2400];
+int frame_w;
+int frame_h;
+
+int pixel(char *frame, int x, int y) {
+    if (x < 0) x = 0;
+    if (y < 0) y = 0;
+    if (x >= frame_w) x = frame_w - 1;
+    if (y >= frame_h) y = frame_h - 1;
+    return frame[y * frame_w + x] & 255;
+}
+
+int sad8(int cx, int cy, int rx, int ry) {
+    int total = 0;
+    int dy;
+    for (dy = 0; dy < 8; dy++) {
+        int dx;
+        for (dx = 0; dx < 8; dx++) {
+            int d = pixel(cur_frame, cx + dx, cy + dy)
+                  - pixel(ref_frame, rx + dx, ry + dy);
+            total = total + abs(d);
+        }
+    }
+    return total;
+}
+
+int search_block(int bx, int by, int *out_mx, int *out_my) {
+    int best = sad8(bx, by, bx, by);
+    int best_mx = 0; int best_my = 0;
+    int my;
+    for (my = -4; my <= 4; my = my + 2) {
+        int mx;
+        for (mx = -4; mx <= 4; mx = mx + 2) {
+            int cost = sad8(bx, by, bx + mx, by + my);
+            if (cost < best) {
+                best = cost; best_mx = mx; best_my = my;
+            }
+        }
+    }
+    /* diamond refinement around the coarse winner */
+    int step;
+    for (step = 1; step <= 1; step++) {
+        int dirs[8];
+        dirs[0] = 1; dirs[1] = 0; dirs[2] = -1; dirs[3] = 0;
+        dirs[4] = 0; dirs[5] = 1; dirs[6] = 0; dirs[7] = -1;
+        int k;
+        for (k = 0; k < 4; k++) {
+            int mx = best_mx + dirs[k * 2] * step;
+            int my2 = best_my + dirs[k * 2 + 1] * step;
+            int cost = sad8(bx, by, bx + mx, by + my2);
+            if (cost < best) {
+                best = cost; best_mx = mx; best_my = my2;
+            }
+        }
+    }
+    *out_mx = best_mx;
+    *out_my = best_my;
+    return best;
+}
+
+void synthesize_frames(int seed) {
+    int s = seed;
+    int i;
+    for (i = 0; i < frame_w * frame_h; i++) {
+        s = (s * 1103515245 + 12345) & 2147483647;
+        ref_frame[i] = (char)((s >> 12) & 255);
+    }
+    /* current frame = reference shifted by (2, 1) plus noise */
+    int y;
+    for (y = 0; y < frame_h; y++) {
+        int x;
+        for (x = 0; x < frame_w; x++) {
+            int v = pixel(ref_frame, x - 2, y - 1);
+            if (((x * 31 + y * 17) & 15) == 0) v = (v + 9) & 255;
+            cur_frame[y * frame_w + x] = (char)v;
+        }
+    }
+}
+
+int main() {
+    frame_w = read_int();
+    frame_h = read_int();
+    int seed = read_int();
+    synthesize_frames(seed);
+    int total_sad = 0;
+    int vx = 0; int vy = 0;
+    int by;
+    for (by = 0; by + 8 <= frame_h; by = by + 8) {
+        int bx;
+        for (bx = 0; bx + 8 <= frame_w; bx = bx + 8) {
+            int mx; int my;
+            int cost = search_block(bx, by, &mx, &my);
+            total_sad = total_sad + cost;
+            vx = vx + mx; vy = vy + my;
+            printf("block %d,%d: mv (%d,%d) sad %d\n",
+                   bx, by, mx, my, cost);
+        }
+    }
+    printf("total sad %d, net motion (%d,%d)\n", total_sad, vx, vy);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="h264ref",
+    source=SOURCE,
+    ref_inputs=(
+        (16, 8, 4242),
+    ),
+    description="motion estimation: SAD block search + diamond refine",
+)

@@ -1,0 +1,94 @@
+"""hmmer stand-in: profile-HMM sequence scoring — Viterbi dynamic
+programming with match/insert/delete states over stack-allocated score
+rows (the DP-kernel stack idiom the paper's hmmer rows exercise)."""
+
+from __future__ import annotations
+
+from .base import Workload, deterministic_bytes
+
+SOURCE = r"""
+int match_score[64][4];
+int profile_len;
+
+char sequence[256];
+int seq_len;
+
+void build_profile(int length, int seed) {
+    profile_len = length;
+    int s = seed;
+    int i;
+    for (i = 0; i < length; i++) {
+        int k;
+        for (k = 0; k < 4; k++) {
+            s = (s * 1103515245 + 12345) & 2147483647;
+            match_score[i][k] = (s % 11) - 3;
+        }
+    }
+}
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+int viterbi() {
+    int prev_m[65]; int prev_i[65]; int prev_d[65];
+    int cur_m[65];  int cur_i[65];  int cur_d[65];
+    int j;
+    int NEG = -100000;
+    for (j = 0; j <= profile_len; j++) {
+        prev_m[j] = NEG; prev_i[j] = NEG; prev_d[j] = NEG;
+    }
+    prev_m[0] = 0;
+    int best = NEG;
+    int i;
+    for (i = 1; i <= seq_len; i++) {
+        int symbol = sequence[i - 1] & 3;
+        cur_m[0] = NEG; cur_i[0] = prev_m[0] - 2; cur_d[0] = NEG;
+        for (j = 1; j <= profile_len; j++) {
+            int emit = match_score[j - 1][symbol];
+            int m = max2(prev_m[j - 1],
+                         max2(prev_i[j - 1], prev_d[j - 1])) + emit;
+            int ins = max2(prev_m[j] - 3, prev_i[j] - 1);
+            int del = max2(cur_m[j - 1] - 3, cur_d[j - 1] - 1);
+            cur_m[j] = m;
+            cur_i[j] = ins;
+            cur_d[j] = del;
+        }
+        if (cur_m[profile_len] > best) best = cur_m[profile_len];
+        for (j = 0; j <= profile_len; j++) {
+            prev_m[j] = cur_m[j];
+            prev_i[j] = cur_i[j];
+            prev_d[j] = cur_d[j];
+        }
+    }
+    return best;
+}
+
+int main() {
+    int plen = read_int();
+    int seed = read_int();
+    build_profile(plen, seed);
+    int nseq = 0;
+    int total = 0;
+    while (1) {
+        int n = read_buf(sequence, 255);
+        if (n <= 0) break;
+        seq_len = n;
+        int score = viterbi();
+        nseq = nseq + 1;
+        total = total + score;
+        printf("seq %d (len %d): score %d\n", nseq, n, score);
+    }
+    printf("%d sequences, total score %d\n", nseq, total);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="hmmer",
+    source=SOURCE,
+    ref_inputs=(
+        (18, 777,
+         deterministic_bytes(44, 3),
+         deterministic_bytes(32, 11)),
+    ),
+    description="profile HMM scoring: Viterbi DP over stack rows",
+)

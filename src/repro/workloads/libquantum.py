@@ -1,0 +1,111 @@
+"""libquantum stand-in: quantum register simulation with fixed-point
+amplitudes — Hadamard-like and controlled-NOT gates as bit-indexed array
+transforms, plus a measurement/normalization sweep."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+int amp_re[1024];
+int amp_im[1024];
+int n_qubits;
+int n_states;
+
+void init_register(int qubits) {
+    n_qubits = qubits;
+    n_states = 1 << qubits;
+    int i;
+    for (i = 0; i < n_states; i++) { amp_re[i] = 0; amp_im[i] = 0; }
+    amp_re[0] = 4096;  /* |0..0> with fixed-point 1.0 = 4096 */
+}
+
+void hadamard(int target) {
+    int mask = 1 << target;
+    int i;
+    for (i = 0; i < n_states; i++) {
+        if (i & mask) continue;
+        int j = i | mask;
+        int are = amp_re[i]; int aim = amp_im[i];
+        int bre = amp_re[j]; int bim = amp_im[j];
+        /* 1/sqrt2 ~ 2896/4096 */
+        amp_re[i] = (are + bre) * 2896 / 4096;
+        amp_im[i] = (aim + bim) * 2896 / 4096;
+        amp_re[j] = (are - bre) * 2896 / 4096;
+        amp_im[j] = (aim - bim) * 2896 / 4096;
+    }
+}
+
+void cnot(int control, int target) {
+    int cmask = 1 << control;
+    int tmask = 1 << target;
+    int i;
+    for (i = 0; i < n_states; i++) {
+        if ((i & cmask) && !(i & tmask)) {
+            int j = i | tmask;
+            int tre = amp_re[i]; int tim = amp_im[i];
+            amp_re[i] = amp_re[j]; amp_im[i] = amp_im[j];
+            amp_re[j] = tre; amp_im[j] = tim;
+        }
+    }
+}
+
+void phase_flip(int target) {
+    int mask = 1 << target;
+    int i;
+    for (i = 0; i < n_states; i++) {
+        if (i & mask) {
+            amp_re[i] = -amp_re[i];
+            amp_im[i] = -amp_im[i];
+        }
+    }
+}
+
+int total_probability() {
+    int total = 0;
+    int i;
+    for (i = 0; i < n_states; i++) {
+        total = total + (amp_re[i] * amp_re[i]
+                         + amp_im[i] * amp_im[i]) / 4096;
+    }
+    return total;
+}
+
+int dominant_state() {
+    int best = 0;
+    int besti = 0;
+    int i;
+    for (i = 0; i < n_states; i++) {
+        int p = amp_re[i] * amp_re[i] + amp_im[i] * amp_im[i];
+        if (p > best) { best = p; besti = i; }
+    }
+    return besti;
+}
+
+int main() {
+    int qubits = read_int();
+    int rounds = read_int();
+    init_register(qubits);
+    int r;
+    for (r = 0; r < rounds; r++) {
+        int q;
+        for (q = 0; q < n_qubits; q++) hadamard(q);
+        for (q = 0; q + 1 < n_qubits; q++) cnot(q, q + 1);
+        phase_flip(r % n_qubits);
+        printf("round %d: norm %d dominant %d\n",
+               r, total_probability(), dominant_state());
+    }
+    printf("final norm %d\n", total_probability());
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="libquantum",
+    source=SOURCE,
+    ref_inputs=(
+        (6, 4),
+    ),
+    description="quantum register simulation: gate transforms over "
+                "amplitude arrays",
+)

@@ -1,0 +1,84 @@
+"""sjeng stand-in: game-tree search — alpha-beta negamax over a
+pick-up-sticks variant with positional scoring; deep recursion with
+per-frame move arrays."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+int heaps[8];
+int n_heaps;
+int nodes_visited;
+
+int position_score() {
+    int score = 0;
+    int i;
+    for (i = 0; i < n_heaps; i++) {
+        int h = heaps[i];
+        score = score + (h & 1) * 3 - (h > 4 ? h - 4 : 0);
+    }
+    return score;
+}
+
+int negamax(int depth, int alpha, int beta) {
+    nodes_visited = nodes_visited + 1;
+    int total = 0;
+    int i;
+    for (i = 0; i < n_heaps; i++) total = total + heaps[i];
+    if (total == 0) return -1000 + depth;   /* no moves: loss */
+    if (depth == 0) return position_score();
+
+    int moves_from[24];
+    int moves_take[24];
+    int n_moves = 0;
+    for (i = 0; i < n_heaps; i++) {
+        int take;
+        for (take = 1; take <= 3 && take <= heaps[i]; take++) {
+            moves_from[n_moves] = i;
+            moves_take[n_moves] = take;
+            n_moves = n_moves + 1;
+        }
+    }
+    int best = -100000;
+    int m;
+    for (m = 0; m < n_moves; m++) {
+        int h = moves_from[m];
+        int t = moves_take[m];
+        heaps[h] = heaps[h] - t;
+        int score = -negamax(depth - 1, -beta, -alpha);
+        heaps[h] = heaps[h] + t;
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;           /* alpha-beta cutoff */
+    }
+    return best;
+}
+
+int main() {
+    n_heaps = read_int();
+    int depth = read_int();
+    int i;
+    for (i = 0; i < n_heaps; i++) heaps[i] = read_int();
+    printf("position:");
+    for (i = 0; i < n_heaps; i++) printf(" %d", heaps[i]);
+    printf("\n");
+    int d;
+    for (d = 2; d <= depth; d++) {
+        nodes_visited = 0;
+        int score = negamax(d, -100000, 100000);
+        printf("depth %d: score %d (%d nodes)\n",
+               d, score, nodes_visited);
+    }
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="sjeng",
+    source=SOURCE,
+    ref_inputs=(
+        (4, 5, 3, 3, 2, 2),
+    ),
+    description="alpha-beta game search with per-frame move lists",
+)

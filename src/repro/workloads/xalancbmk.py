@@ -1,0 +1,129 @@
+"""xalancbmk stand-in: markup document transformation — parse a toy
+tag language with a stack of open elements, validate nesting, transform
+tag names, and emit a rendered summary via sprintf/strcat string work."""
+
+from __future__ import annotations
+
+from .base import Workload
+
+SOURCE = r"""
+char document[1024];
+char output[2048];
+char tag_stack[32][16];
+int depth;
+int max_depth;
+int n_elements;
+int n_text;
+int errors;
+
+int tag_eq(char *a, char *b) { return strcmp(a, b) == 0; }
+
+void copy_upper(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int c = src[i] & 255;
+        if (c >= 'a' && c <= 'z') c = c - 32;
+        dst[i] = (char)c;
+    }
+    dst[n] = (char)0;
+}
+
+int transform(int doc_len) {
+    int pos = 0;
+    int out = 0;
+    depth = 0; max_depth = 0; n_elements = 0; n_text = 0; errors = 0;
+    output[0] = (char)0;
+    while (pos < doc_len) {
+        int c = document[pos] & 255;
+        if (c == '<') {
+            int closing = 0;
+            pos = pos + 1;
+            if ((document[pos] & 255) == '/') {
+                closing = 1;
+                pos = pos + 1;
+            }
+            char name[16];
+            int n = 0;
+            while (pos < doc_len && (document[pos] & 255) != '>'
+                   && n < 15) {
+                name[n] = document[pos];
+                n = n + 1;
+                pos = pos + 1;
+            }
+            name[n] = (char)0;
+            pos = pos + 1;  /* skip '>' */
+            if (closing) {
+                if (depth > 0 && tag_eq(tag_stack[depth - 1], name)) {
+                    depth = depth - 1;
+                    char upper[16];
+                    copy_upper(upper, name, n);
+                    char piece[32];
+                    sprintf(piece, "</%s>", upper);
+                    strcat(output, piece);
+                } else {
+                    errors = errors + 1;
+                }
+            } else {
+                if (depth < 32) {
+                    strcpy(tag_stack[depth], name);
+                    depth = depth + 1;
+                    if (depth > max_depth) max_depth = depth;
+                    n_elements = n_elements + 1;
+                    char upper[16];
+                    copy_upper(upper, name, n);
+                    char piece[32];
+                    sprintf(piece, "<%s depth=%d>", upper, depth);
+                    strcat(output, piece);
+                } else {
+                    errors = errors + 1;
+                }
+            }
+        } else {
+            int start = pos;
+            while (pos < doc_len && (document[pos] & 255) != '<')
+                pos = pos + 1;
+            n_text = n_text + (pos - start);
+            strcat(output, "#");
+        }
+    }
+    errors = errors + depth;  /* unclosed elements */
+    return out;
+}
+
+int main() {
+    int total_elems = 0;
+    int docs = 0;
+    while (1) {
+        int n = read_buf(document, 1023);
+        if (n <= 0) break;
+        document[n] = (char)0;
+        transform(n);
+        docs = docs + 1;
+        total_elems = total_elems + n_elements;
+        printf("doc %d: %d elements, depth %d, %d text bytes, "
+               "%d errors\n", docs, n_elements, max_depth, n_text,
+               errors);
+        printf("render: %s\n", output);
+    }
+    printf("%d documents, %d elements\n", docs, total_elems);
+    return 0;
+}
+"""
+
+_DOCS = (
+    b"<html><head><title>abc</title></head>"
+    b"<body><p>hello</p><p>more <b>bold</b> text</p></body></html>",
+    b"<a><b><c>deep</c></b><b2>x</b2></a><late>oops</wrong>",
+    b"<list><item>1</item><item>2</item><item>3</item>"
+    b"<item>4</item><item>5</item></list>",
+    b"<doc><sec><par>text here</par><par>and more</par></sec>"
+    b"<sec><par>final</par></sec></doc>",
+    b"<x1><x2><x3><x4><x5>nested</x5></x4></x3></x2></x1>",
+)
+
+WORKLOAD = Workload(
+    name="xalancbmk",
+    source=SOURCE,
+    ref_inputs=(_DOCS,),
+    description="markup transform: tag stack, validation, string render",
+)

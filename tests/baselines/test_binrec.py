@@ -1,0 +1,41 @@
+"""BinRec baseline: functional, unsymbolized, slower than WYTIWYG."""
+
+from repro.baselines import binrec_recompile
+from repro.emu import run_binary
+from repro.lifting import EMUSTACK_NAME
+from tests.conftest import FEATURE_SOURCE, KERNEL_SOURCE, cached_image
+
+
+def test_binrec_preserves_functionality():
+    for comp, lvl in (("gcc12", "3"), ("gcc44", "3"), ("gcc12", "0")):
+        image = cached_image(FEATURE_SOURCE, comp, lvl)
+        native = run_binary(image)
+        recovered = run_binary(binrec_recompile(image.stripped(), [[]]))
+        assert recovered.stdout == native.stdout
+        assert recovered.exit_code == native.exit_code
+
+
+def test_binrec_keeps_emulated_stack():
+    image = cached_image(KERNEL_SOURCE)
+    from repro.baselines.binrec import binrec_lift
+    from repro.emu import trace_binary
+    module = binrec_lift(trace_binary(image.stripped(), [[]]))
+    assert EMUSTACK_NAME in module.globals
+    assert module.metadata["pipeline"] == "binrec"
+
+
+def test_binrec_slower_than_native():
+    image = cached_image(KERNEL_SOURCE)
+    native = run_binary(image)
+    recovered = run_binary(binrec_recompile(image.stripped(), [[]]))
+    assert recovered.cycles > native.cycles
+
+
+def test_binrec_recompiled_text_is_relocated():
+    from repro.recompile import RECOMP_TEXT_BASE
+    image = cached_image(KERNEL_SOURCE)
+    recovered = binrec_recompile(image.stripped(), [[]])
+    assert recovered.text.base == RECOMP_TEXT_BASE
+    # Original data stays pinned at its original address.
+    assert any(s.base == image.data_sections[0].base
+               for s in recovered.data_sections)

@@ -1,0 +1,108 @@
+"""SecondWrite static baseline: successes, collapses, and failures."""
+
+import pytest
+
+from repro.baselines import (
+    SecondWriteError,
+    secondwrite_recompile,
+    static_cfg,
+)
+from repro.cc import compile_source
+from repro.emu import run_binary
+from tests.conftest import KERNEL_SOURCE, cached_image
+
+
+def test_static_pipeline_recompiles_simple_program():
+    image = cached_image(KERNEL_SOURCE, "gcc44", "3")
+    native = run_binary(image)
+    result = secondwrite_recompile(image.stripped())
+    recovered = run_binary(result.recovered)
+    assert recovered.stdout == native.stdout
+
+
+def test_fails_on_jump_tables():
+    src = r'''
+int pick(int v) {
+    switch (v) {
+    case 0: return 5;
+    case 1: return 6;
+    case 2: return 7;
+    case 3: return 8;
+    case 4: return 9;
+    default: return -1;
+    }
+}
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 6; i++) s += pick(i);
+    printf("%d\n", s);
+    return 0;
+}
+'''
+    image = compile_source(src, "gcc12", "3", "t")  # emits a jump table
+    with pytest.raises(SecondWriteError):
+        secondwrite_recompile(image.stripped())
+
+
+def test_fails_on_function_pointers():
+    src = r'''
+int add(int a, int b) { return a + b; }
+int apply(int (*f)(int, int)) { return f(1, 2); }
+int main() { printf("%d\n", apply(add)); return 0; }
+'''
+    image = compile_source(src, "gcc12", "3", "t")
+    with pytest.raises(SecondWriteError):
+        secondwrite_recompile(image.stripped())
+
+
+def test_complex_frames_collapse_to_single_symbol():
+    src = r'''
+int main() {
+    int arr[16];
+    int i;
+    for (i = 0; i < 16; i++) arr[i] = i;     /* indexed: complex */
+    int s = 0;
+    for (i = 0; i < 16; i++) s += arr[i];
+    printf("%d\n", s);
+    return 0;
+}
+'''
+    image = compile_source(src, "gcc44", "3", "t")
+    result = secondwrite_recompile(image.stripped())
+    assert result.report.collapsed  # single-symbol frames exist
+    assert run_binary(result.recovered).stdout == b"120\n"
+
+
+def test_simple_frames_are_split():
+    src = r'''
+int combine(int a, int b) {
+    int x = a + 1;
+    int y = b + 2;
+    int z = x * y;
+    return z;
+}
+int main() { printf("%d\n", combine(3, 4)); return 0; }
+'''
+    image = compile_source(src, "gcc44", "0", "t")
+    result = secondwrite_recompile(image.stripped())
+    assert result.report.split
+    assert run_binary(result.recovered).stdout == b"24\n"
+
+
+def test_constant_format_strings_recovered_statically():
+    image = cached_image(KERNEL_SOURCE, "gcc44", "3")
+    result = secondwrite_recompile(image.stripped())
+    from repro.ir.values import CallExt
+    stack_call = [i for f in result.module.functions.values()
+                  for i in f.instructions()
+                  if isinstance(i, CallExt) and i.stack_args]
+    assert not stack_call
+
+
+def test_static_cfg_covers_whole_text():
+    image = cached_image(KERNEL_SOURCE, "gcc44", "3")
+    cfg = static_cfg(image.stripped())
+    # Static CFG covers at least as much as any trace would.
+    total = sum(len(b.instrs) for b in cfg.blocks.values())
+    assert total > 0
+    assert cfg.call_targets

@@ -1,0 +1,58 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.cc import tokenize
+from repro.errors import CompileError
+
+
+def kinds(src):
+    return [(t.kind, t.text or t.value) for t in tokenize(src)[:-1]]
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("int foo while whilex")
+    assert [t.kind for t in toks[:-1]] == ["keyword", "ident", "keyword",
+                                           "ident"]
+
+
+def test_numbers():
+    toks = tokenize("0 42 0x1F")
+    assert [t.value for t in toks[:-1]] == [0, 42, 0x1F]
+
+
+def test_char_literals_and_escapes():
+    toks = tokenize(r"'a' '\n' '\0' '\\'")
+    assert [t.value for t in toks[:-1]] == [97, 10, 0, 92]
+
+
+def test_string_literal_escapes():
+    toks = tokenize(r'"a\tb\n"')
+    assert toks[0].value == b"a\tb\n"
+
+
+def test_operators_maximal_munch():
+    toks = tokenize("a<<=b >>= == <= ->")
+    texts = [t.text for t in toks if t.kind == "op"]
+    assert texts == ["<<=", ">>=", "==", "<=", "->"]
+
+
+def test_comments_stripped_and_lines_counted():
+    toks = tokenize("a // comment\n/* multi\nline */ b")
+    assert [t.text for t in toks[:-1]] == ["a", "b"]
+    assert toks[1].line == 3
+
+
+def test_unterminated_comment_rejected():
+    with pytest.raises(CompileError):
+        tokenize("/* never ends")
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(CompileError):
+        tokenize('"abc')
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(CompileError):
+        tokenize("int $x;")

@@ -1,0 +1,116 @@
+"""MiniC parser structure."""
+
+import pytest
+
+from repro.cc import parse
+from repro.cc import ast_nodes as ast
+from repro.cc.ctypes import ArrayType, FuncType, IntType, PtrType, \
+    StructType
+from repro.errors import CompileError
+
+
+def first_func(src, name=None):
+    unit = parse(src)
+    for decl in unit.decls:
+        if isinstance(decl, ast.FuncDef) and decl.body is not None:
+            if name is None or decl.name == name:
+                return decl
+    raise AssertionError("no function found")
+
+
+def test_function_and_params():
+    f = first_func("int f(int a, char *b) { return a; }")
+    assert f.name == "f"
+    assert [n for n, _ in f.params] == ["a", "b"]
+    assert isinstance(f.params[1][1], PtrType)
+
+
+def test_array_declarator_dimensions():
+    unit = parse("int grid[4][6];")
+    decl = unit.decls[0]
+    assert isinstance(decl.ctype, ArrayType)
+    assert decl.ctype.count == 4
+    assert decl.ctype.element.count == 6
+
+
+def test_array_size_from_initializer():
+    unit = parse('char s[] = "abcd"; int a[] = {1, 2, 3};')
+    assert unit.decls[0].ctype.count == 5  # includes NUL
+    assert unit.decls[1].ctype.count == 3
+
+
+def test_function_pointer_declarator():
+    f = first_func("int go(int (*op)(int, int)) { return op(1, 2); }")
+    ptype = f.params[0][1]
+    assert isinstance(ptype, PtrType)
+    assert isinstance(ptype.pointee, FuncType)
+    assert len(ptype.pointee.params) == 2
+
+
+def test_struct_definition_and_layout():
+    unit = parse("struct p { char c; int x; }; struct p g;")
+    ctype = unit.decls[0].ctype
+    assert isinstance(ctype, StructType)
+    fields = {f.name: f.offset for f in ctype.fields}
+    assert fields["c"] == 0 and fields["x"] == 4  # aligned
+    assert ctype.size == 8
+
+
+def test_precedence():
+    f = first_func("int f(int a) { return a + 2 * 3 == 7; }")
+    ret = f.body.stmts[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "=="
+    lhs = ret.value.lhs
+    assert lhs.op == "+" and lhs.rhs.op == "*"
+
+
+def test_assignment_right_associative():
+    f = first_func("int f(int a, int b) { a = b = 1; return a; }")
+    expr = f.body.stmts[0].expr
+    assert isinstance(expr, ast.Assign)
+    assert isinstance(expr.value, ast.Assign)
+
+
+def test_switch_case_structure():
+    f = first_func("""
+int f(int v) {
+    switch (v) {
+    case 1: return 1;
+    case 2:
+    default: return 0;
+    }
+}
+""")
+    sw = f.body.stmts[0]
+    labels = [s.value for s in sw.body if isinstance(s, ast.CaseLabel)]
+    assert labels == [1, 2, None]
+
+
+def test_for_with_declaration():
+    f = first_func("int f() { for (int i = 0; i < 3; i++) {} return 0; }")
+    loop = f.body.stmts[0]
+    assert isinstance(loop.init, ast.DeclStmt)
+
+
+def test_sizeof_forms():
+    f = first_func("int f(int x) { return sizeof(int) + sizeof x; }")
+    expr = f.body.stmts[0].value
+    assert isinstance(expr.lhs, ast.SizeofType)
+    assert isinstance(expr.rhs, ast.SizeofExpr)
+
+
+def test_string_concatenation():
+    f = first_func('int f() { printf("ab" "cd"); return 0; }')
+    call = f.body.stmts[0].expr
+    assert call.args[0].value == b"abcd"
+
+
+def test_errors_reported_with_line():
+    with pytest.raises(CompileError) as info:
+        parse("int f() {\n  return )\n}")
+    assert "line 2" in str(info.value)
+
+
+def test_case_outside_switch_rejected():
+    with pytest.raises(CompileError):
+        parse("int f() { case 1: return 0; }")

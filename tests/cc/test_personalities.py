@@ -1,0 +1,106 @@
+"""Compiler personalities: observable differences between toolchains."""
+
+import pytest
+
+from repro.cc import compile_source, personality
+from repro.emu import run_binary
+from repro.errors import CompileError
+from repro.isa import Disassembler
+
+LOOPY = r'''
+int work(int *a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i] * i + (a[i] >> 1);
+    return s;
+}
+int main() {
+    int arr[32];
+    int i;
+    for (i = 0; i < 32; i++) arr[i] = i * 7;
+    int total = 0;
+    for (i = 0; i < 40; i++) total += work(arr, 32);
+    printf("%d\n", total);
+    return 0;
+}
+'''
+
+
+def test_unknown_personality_rejected():
+    with pytest.raises(CompileError):
+        personality("msvc", "2")
+
+
+def test_paper_configs_exist():
+    from repro.cc.personalities import PAPER_CONFIGS
+    for comp, lvl in PAPER_CONFIGS:
+        p = personality(comp, lvl)
+        assert p.label
+
+
+def test_o0_keeps_frame_pointer_and_is_slower():
+    o0 = compile_source(LOOPY, "gcc12", "0", "t")
+    o3 = compile_source(LOOPY, "gcc12", "3", "t")
+    r0 = run_binary(o0)
+    r3 = run_binary(o3)
+    assert r0.stdout == r3.stdout
+    assert r0.cycles > r3.cycles * 1.1
+    listing0 = Disassembler(o0).listing()
+    assert "push %ebp" in listing0  # classic prologue
+
+
+def test_gcc44_slower_than_gcc12_on_loops():
+    legacy = run_binary(compile_source(LOOPY, "gcc44", "3", "t"))
+    modern = run_binary(compile_source(LOOPY, "gcc12", "3", "t"))
+    assert legacy.stdout == modern.stdout
+    assert legacy.cycles > modern.cycles
+
+
+def test_modern_o3_omits_frame_pointer():
+    image = compile_source(LOOPY, "gcc12", "3", "t")
+    listing = Disassembler(image).listing()
+    assert "mov %ebp, %esp" not in listing
+
+
+def test_metadata_records_provenance():
+    image = compile_source(LOOPY, "clang16", "3", "prog")
+    assert image.metadata["compiler"] == "clang16"
+    assert image.metadata["opt"] == "O3"
+    assert image.metadata["program"] == "prog"
+
+
+def test_ground_truth_present_for_traced_functions():
+    image = compile_source(LOOPY, "gcc12", "3", "t")
+    names = {g.func_name for g in image.ground_truth}
+    assert "_start" in names
+    # main/work may be inlined, but _start must carry the arr object.
+    start_gt = next(g for g in image.ground_truth
+                    if g.func_name == "_start")
+    sizes = {o.size for o in start_gt.objects if o.kind == "var"}
+    assert 128 in sizes  # int arr[32]
+
+
+def test_jump_tables_only_when_enabled():
+    switchy = r'''
+int pick(int v) {
+    switch (v) {
+    case 0: return 5;
+    case 1: return 6;
+    case 2: return 7;
+    case 3: return 8;
+    case 4: return 9;
+    default: return -1;
+    }
+}
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 6; i++) s += pick(i);
+    printf("%d\n", s);
+    return 0;
+}
+'''
+    modern = compile_source(switchy, "gcc12", "3", "t")
+    o0 = compile_source(switchy, "gcc12", "0", "t")
+    has_jt = lambda img: any(".jt" in name for name in img.symbols)
+    assert has_jt(modern)
+    assert not has_jt(o0)
+    assert run_binary(modern).stdout == run_binary(o0).stdout

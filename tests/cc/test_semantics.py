@@ -1,0 +1,286 @@
+"""MiniC language semantics, executed end-to-end on the machine.
+
+Each test compiles a small program at several personalities and checks
+the observable output — the compiler's correctness contract.
+"""
+
+import pytest
+
+from repro.cc import compile_source
+from repro.emu import run_binary
+
+PERSONALITIES = [("gcc12", "0"), ("gcc12", "3"), ("gcc44", "3")]
+
+
+def run_all(src, inputs=None):
+    outputs = set()
+    result = None
+    for comp, lvl in PERSONALITIES:
+        image = compile_source(src, comp, lvl, "t")
+        result = run_binary(image, list(inputs or []))
+        outputs.add((result.stdout, result.exit_code))
+    assert len(outputs) == 1, outputs
+    return result
+
+
+def test_arithmetic_operators():
+    r = run_all(r'''
+int main() {
+    printf("%d %d %d %d %d\n", 7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3);
+    printf("%d %d %d\n", -7 / 3, -7 % 3, -(5));
+    printf("%d %d %d %d\n", 1 << 4, 256 >> 2, -8 >> 1, 6 & 3);
+    printf("%d %d %d\n", 6 | 3, 6 ^ 3, ~0);
+    return 0;
+}''')
+    assert r.stdout == (b"10 4 21 2 1\n-2 -1 -5\n16 64 -4 2\n7 5 -1\n")
+
+
+def test_comparisons_and_logic():
+    r = run_all(r'''
+int side(int *c) { *c = *c + 1; return 1; }
+int main() {
+    int calls = 0;
+    printf("%d%d%d%d%d%d\n", 1 < 2, 2 <= 2, 3 > 4, 4 >= 4, 5 == 5,
+           5 != 5);
+    int v = 0 && side(&calls);
+    int w = 1 || side(&calls);
+    printf("%d %d calls=%d\n", v, w, calls);
+    printf("%d\n", !0 + !7);
+    return 0;
+}''')
+    assert r.stdout == b"110110\n0 1 calls=0\n1\n"
+
+
+def test_unsigned_comparison():
+    r = run_all(r'''
+int main() {
+    unsigned int big = 0x80000000;
+    unsigned int one = 1;
+    printf("%d %d\n", big > one, (int)big > (int)one);
+    return 0;
+}''')
+    assert r.stdout == b"1 0\n"
+
+
+def test_char_signedness_and_promotion():
+    r = run_all(r'''
+int main() {
+    char c = 200;       /* wraps to -56 */
+    unsigned char u = 200;
+    printf("%d %d\n", c, u);
+    short s = 40000;    /* wraps negative */
+    printf("%d\n", s < 0);
+    return 0;
+}''')
+    assert r.stdout == b"-56 200\n1\n"
+
+
+def test_pointer_arithmetic_and_difference():
+    r = run_all(r'''
+int main() {
+    int a[5];
+    int i;
+    for (i = 0; i < 5; i++) a[i] = i * i;
+    int *p = a + 1;
+    int *q = &a[4];
+    printf("%d %d %d\n", *p, *(q - 2), q - p);
+    p += 2;
+    printf("%d\n", *p);
+    return 0;
+}''')
+    assert r.stdout == b"1 4 3\n9\n"
+
+
+def test_struct_members_and_copy():
+    r = run_all(r'''
+struct inner { int a; char c; };
+struct outer { struct inner in; int arr[2]; };
+int main() {
+    struct outer o;
+    o.in.a = 5; o.in.c = 'x';
+    o.arr[0] = 10; o.arr[1] = 20;
+    struct outer copy = o;
+    copy.in.a = 99;
+    printf("%d %c %d %d %d\n", o.in.a, copy.in.c, copy.arr[1],
+           copy.in.a, o.arr[0]);
+    struct outer *p = &copy;
+    p->arr[0] = p->in.a + 1;
+    printf("%d\n", copy.arr[0]);
+    return 0;
+}''')
+    assert r.stdout == b"5 x 20 99 10\n100\n"
+
+
+def test_increments_pre_and_post():
+    r = run_all(r'''
+int main() {
+    int i = 5;
+    printf("%d %d %d\n", i++, ++i, i--);
+    int a[3];
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    int *p = a;
+    printf("%d %d %d\n", *p++, *p, i);
+    return 0;
+}''')
+    assert r.stdout == b"5 7 7\n1 2 6\n"
+
+
+def test_compound_assignment():
+    r = run_all(r'''
+int main() {
+    int x = 10;
+    x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+    printf("%d\n", x);
+    x = 3;
+    x <<= 2; x |= 1; x ^= 2; x &= 14;
+    printf("%d\n", x);
+    return 0;
+}''')
+    assert r.stdout == b"2\n14\n"
+
+
+def test_globals_and_statics():
+    r = run_all(r'''
+int counter = 100;
+int table[4] = {1, 2, 3};
+int bump() {
+    static int calls = 0;
+    calls = calls + 1;
+    return calls;
+}
+int main() {
+    counter += table[1];
+    printf("%d %d %d %d\n", counter, table[3], bump(), bump());
+    return 0;
+}''')
+    assert r.stdout == b"102 0 1 2\n"
+
+
+def test_do_while_break_continue():
+    r = run_all(r'''
+int main() {
+    int i = 0;
+    int total = 0;
+    do { i++; } while (i < 3);
+    printf("%d\n", i);
+    for (i = 0; i < 10; i++) {
+        if (i == 2) continue;
+        if (i == 5) break;
+        total += i;
+    }
+    printf("%d\n", total);
+    while (1) { break; }
+    return 0;
+}''')
+    assert r.stdout == b"3\n8\n"
+
+
+def test_recursion_mutual():
+    r = run_all(r'''
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() {
+    printf("%d %d\n", is_even(10), is_odd(7));
+    return 0;
+}''')
+    assert r.stdout == b"1 1\n"
+
+
+def test_function_pointers_in_tables():
+    r = run_all(r'''
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int main() {
+    int (*ops[2])(int, int);
+    ops[0] = add;
+    ops[1] = sub;
+    int i;
+    for (i = 0; i < 2; i++) printf("%d ", ops[i](10, 4));
+    printf("\n");
+    return 0;
+}''')
+    assert r.stdout == b"14 6 \n"
+
+
+def test_ternary_and_comma():
+    r = run_all(r'''
+int main() {
+    int a = 3, b = 9;
+    printf("%d %d\n", a > b ? a : b, (a = 5, a + 1));
+    return 0;
+}''')
+    assert r.stdout == b"9 6\n"
+
+
+def test_string_builtins_roundtrip():
+    r = run_all(r'''
+int main() {
+    char buf[64];
+    strcpy(buf, "hello");
+    strcat(buf, " world");
+    printf("%s %d %d\n", buf, strlen(buf), strcmp(buf, "hello world"));
+    char num[16];
+    sprintf(num, "%d", 321);
+    printf("%d\n", atoi(num) + 1);
+    return 0;
+}''')
+    assert r.stdout == b"hello world 11 0\n322\n"
+
+
+def test_switch_fallthrough_and_default():
+    r = run_all(r'''
+int label(int v) {
+    int r = 0;
+    switch (v) {
+    case 1: r += 1;
+    case 2: r += 2; break;
+    case 7: r += 7; break;
+    default: r = -1;
+    }
+    return r;
+}
+int main() {
+    printf("%d %d %d %d\n", label(1), label(2), label(7), label(9));
+    return 0;
+}''')
+    assert r.stdout == b"3 2 7 -1\n"
+
+
+def test_input_builtins():
+    r = run_all(r'''
+int main() {
+    int a = read_int();
+    char buf[8];
+    int n = read_buf(buf, 8);
+    printf("%d %d %c\n", a, n, buf[0]);
+    return 0;
+}''', inputs=[12, b"xy"])
+    assert r.stdout == b"12 2 x\n"
+
+
+def test_heap_allocation():
+    r = run_all(r'''
+int main() {
+    int *p = malloc(4 * sizeof(int));
+    int i;
+    for (i = 0; i < 4; i++) p[i] = i + 1;
+    int *q = calloc(2, sizeof(int));
+    printf("%d %d\n", p[3], q[1]);
+    free(p);
+    return 0;
+}''')
+    assert r.stdout == b"4 0\n"
+
+
+def test_exit_code_from_main():
+    r = run_all("int main() { return 17; }")
+    assert r.exit_code == 17
+
+
+def test_division_errors_rejected_at_compile_time():
+    from repro.errors import CompileError
+    with pytest.raises(CompileError):
+        compile_source(
+            "int main() { unsigned int a = 4; return a / 2; }",
+            "gcc12", "3", "t")

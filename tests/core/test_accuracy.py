@@ -1,0 +1,78 @@
+"""Figure 7 classification logic."""
+
+from repro.binary.image import BinaryImage, FrameGroundTruth, Section, \
+    StackObject
+from repro.core.accuracy import evaluate_accuracy
+from repro.core.layout import FrameLayout, FrameVariable
+
+
+def image_with_truth(objects):
+    return BinaryImage(
+        text=Section(".text", 0x1000, b"\x00"),
+        entry=0x1000,
+        ground_truth=[FrameGroundTruth("f", 0x1000, 64, objects)],
+    )
+
+
+def layout_with(spans):
+    layout = FrameLayout("fn_00001000")
+    layout.variables = [FrameVariable(s, e) for s, e in spans]
+    return {"fn_00001000": layout}
+
+
+def classify(objects, spans):
+    image = image_with_truth(objects)
+    report = evaluate_accuracy(image, layout_with(spans))
+    return report
+
+
+def test_exact_match():
+    r = classify([StackObject("x", -8, 4)], [(-8, -4)])
+    assert r.counts["matched"] == 1
+    assert r.precision == 1.0 and r.recall == 1.0
+
+
+def test_oversized():
+    r = classify([StackObject("x", -8, 4)], [(-12, -4)])
+    assert r.counts["oversized"] == 1
+    assert r.recall == 0.0
+
+
+def test_undersized():
+    r = classify([StackObject("arr", -16, 12)], [(-16, -8)])
+    assert r.counts["undersized"] == 1
+
+
+def test_missed():
+    r = classify([StackObject("x", -8, 4)], [(-32, -28)])
+    assert r.counts["missed"] == 1
+
+
+def test_saved_regs_not_counted():
+    r = classify([StackObject("save.ebx", -4, 4, kind="saved_reg"),
+                  StackObject("x", -12, 4)], [(-12, -8)])
+    assert r.total_objects == 1
+    assert r.counts["matched"] == 1
+
+
+def test_untraced_functions_skipped():
+    image = image_with_truth([StackObject("x", -8, 4)])
+    image.ground_truth.append(
+        FrameGroundTruth("ghost", 0x9999, 8, [StackObject("y", -4, 4)]))
+    report = evaluate_accuracy(image, layout_with([(-8, -4)]))
+    assert report.total_objects == 1
+
+
+def test_precision_counts_recovered_variables():
+    # Two recovered vars, one matches one truth object.
+    r = classify([StackObject("x", -8, 4)], [(-8, -4), (-20, -16)])
+    assert r.precision == 0.5
+    assert r.recall == 1.0
+
+
+def test_merge():
+    a = classify([StackObject("x", -8, 4)], [(-8, -4)])
+    b = classify([StackObject("y", -8, 4)], [(-16, -4)])
+    a.merge(b)
+    assert a.total_objects == 2
+    assert a.counts["matched"] == 1 and a.counts["oversized"] == 1

@@ -1,0 +1,80 @@
+"""Hybrid static+dynamic lifting (the paper's §7.2 future-work
+direction, implemented as an extension)."""
+
+import pytest
+
+from repro.cc import compile_source
+from repro.core import wytiwyg_recompile
+from repro.emu import run_binary
+
+BRANCHY = r'''
+int score(int kind, int value) {
+    if (kind == 0) return value * 2;
+    if (kind == 1) return value + 100;
+    return -value;
+}
+int main() {
+    int kind = read_int();
+    int value = read_int();
+    printf("score=%d\n", score(kind, value));
+    return 0;
+}
+'''
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_source(BRANCHY, "gcc12", "3", "hybrid")
+
+
+def test_plain_mode_traps_on_untraced(image):
+    result = wytiwyg_recompile(image, [[0, 7]])
+    assert run_binary(result.recovered, [0, 7]).stdout == b"score=14\n"
+    assert run_binary(result.recovered, [1, 7]).exit_code in (198, 199)
+
+
+def test_hybrid_mode_covers_untraced_branches(image):
+    result = wytiwyg_recompile(image, [[0, 7]], hybrid=True)
+    assert not result.fallback
+    assert any("hybrid" in note for note in result.notes)
+    assert run_binary(result.recovered, [0, 7]).stdout == b"score=14\n"
+    assert run_binary(result.recovered, [1, 7]).stdout == b"score=107\n"
+    assert run_binary(result.recovered, [2, 5]).stdout == b"score=-5\n"
+
+
+def test_hybrid_preserves_traced_behaviour_on_suite_kernel(image):
+    # Hybrid mode must never regress the traced-input guarantee.
+    native = run_binary(image, [0, 9])
+    result = wytiwyg_recompile(image, [[0, 9]], hybrid=True)
+    recovered = run_binary(result.recovered, [0, 9])
+    assert recovered.stdout == native.stdout
+    assert recovered.exit_code == native.exit_code
+
+
+def test_hybrid_does_not_follow_indirect_control_flow():
+    src = r'''
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int main() {
+    int k = read_int();
+    int (*ops[2])(int, int);
+    ops[0] = add;
+    ops[1] = sub;
+    printf("%d\n", ops[k](10, 3));
+    return 0;
+}
+'''
+    image = compile_source(src, "gcc12", "3", "t")
+    result = wytiwyg_recompile(image, [[0]], hybrid=True)
+    assert run_binary(result.recovered, [0]).stdout == b"13\n"
+    # The indirect-call target for k=1 was never traced; hybrid's static
+    # growth stops at indirect control flow, so this still traps rather
+    # than guessing.
+    assert run_binary(result.recovered, [1]).exit_code in (198, 199)
+
+
+def test_hybrid_on_larger_program():
+    from tests.conftest import FEATURE_SOURCE, FEATURE_STDOUT
+    image = compile_source(FEATURE_SOURCE, "gcc12", "3", "t")
+    result = wytiwyg_recompile(image, [[]], hybrid=True)
+    assert run_binary(result.recovered).stdout == FEATURE_STDOUT

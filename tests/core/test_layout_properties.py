@@ -1,0 +1,81 @@
+"""Property-based tests for the layout coalescing invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.layout import build_frame_layout
+from repro.core.runtime import StackVar, TracingRuntime
+
+
+@st.composite
+def ref_populations(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    refs = {}
+    rt = TracingRuntime()
+    for rid in range(n):
+        offset = -4 * draw(st.integers(min_value=1, max_value=24))
+        refs[rid] = (None, offset)
+        if draw(st.booleans()):
+            low = draw(st.integers(min_value=-8, max_value=8))
+            size = draw(st.integers(min_value=1, max_value=32))
+            rt.stack_vars[rid] = StackVar(rid, "f", offset, low,
+                                          low + size)
+        else:
+            rt.stack_vars[rid] = StackVar(rid, "f", offset)
+    links = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=4))
+    rt.links = {frozenset(p) for p in links if p[0] != p[1]}
+    return refs, rt
+
+
+@given(ref_populations())
+def test_every_frame_ref_is_assigned(population):
+    refs, rt = population
+    layout = build_frame_layout("f", refs, rt)
+    for rid, (_v, off) in refs.items():
+        if off < 0:
+            assert rid in layout.ref_to_var
+
+
+@given(ref_populations())
+def test_variables_are_disjoint_and_sorted(population):
+    refs, rt = population
+    layout = build_frame_layout("f", refs, rt)
+    spans = [(v.start, v.end) for v in layout.variables]
+    assert spans == sorted(spans)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2  # no overlap after coalescing
+
+
+@given(ref_populations())
+def test_defined_intervals_are_covered(population):
+    refs, rt = population
+    layout = build_frame_layout("f", refs, rt)
+    for rid, (_v, off) in refs.items():
+        if off >= 0:
+            continue
+        var = rt.stack_vars[rid]
+        if not var.defined:
+            continue
+        home = layout.ref_to_var[rid]
+        assert home.start <= off + var.low
+        assert off + var.high <= home.end
+
+
+@given(st.lists(st.tuples(st.integers(-64, 64),
+                          st.integers(1, 16)), min_size=1, max_size=20))
+def test_stackvar_touch_is_monotone(touches):
+    var = StackVar(0, "f", -16)
+    lows, highs = [], []
+    for offset, size in touches:
+        var.touch(offset, size)
+        lows.append(var.low)
+        highs.append(var.high)
+    assert var.low == min(o for o, _s in touches)
+    assert var.high == max(o + s for o, s in touches)
+    # Bounds only ever widen.
+    assert lows == sorted(lows, reverse=True) or len(set(lows)) <= len(lows)
+    for a, b in zip(lows, lows[1:]):
+        assert b <= a
+    for a, b in zip(highs, highs[1:]):
+        assert b >= a

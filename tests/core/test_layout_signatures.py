@@ -1,0 +1,157 @@
+"""Frame layout coalescing and signature recovery (paper §4.2)."""
+
+from repro.core.instrument import (
+    FunctionInstrumentation,
+    ModuleInstrumentation,
+)
+from repro.core.layout import build_frame_layout
+from repro.core.runtime import ArgAccess, StackVar, TracingRuntime
+from repro.core.signatures import build_signatures
+from repro.ir import Function, Module
+from repro.ir.values import Call, CallInd, Const, FuncRef
+
+
+def runtime_with(vars_spec, links=()):
+    """vars_spec: {ref_id: (offset, low, high)} with low None = undefined."""
+    rt = TracingRuntime()
+    refs = {}
+    for rid, (off, low, high) in vars_spec.items():
+        var = StackVar(rid, "f", off, low, high)
+        rt.stack_vars[rid] = var
+        refs[rid] = (None, off)
+    rt.links |= {frozenset(pair) for pair in links}
+    return rt, refs
+
+
+def test_disjoint_intervals_stay_separate():
+    rt, refs = runtime_with({
+        0: (-8, 0, 4),
+        1: (-16, 0, 4),
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert [(v.start, v.end) for v in layout.variables] == \
+        [(-16, -12), (-8, -4)]
+
+
+def test_overlapping_intervals_merge():
+    # Paper's example: [0;20] from ebp-44 subsumes [0;4] from ebp-36.
+    rt, refs = runtime_with({
+        0: (-44, 0, 20),
+        1: (-36, 0, 4),
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert len(layout.variables) == 1
+    var = layout.variables[0]
+    assert (var.start, var.end) == (-44, -24)
+    assert layout.ref_to_var[0] is var and layout.ref_to_var[1] is var
+
+
+def test_adjacent_intervals_do_not_merge():
+    rt, refs = runtime_with({
+        0: (-16, 0, 8),
+        1: (-8, 0, 8),
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert len(layout.variables) == 2
+
+
+def test_never_observed_split_matches_paper():
+    # If f3 returns 0 in every trace, the array splits in two (paper
+    # §4.2): two non-overlapping intervals stay distinct symbols.
+    rt, refs = runtime_with({
+        0: (-44, 0, 8),     # b[0..1] observed
+        1: (-36, 0, 4),     # b[2] via the second ref only
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert len(layout.variables) == 2
+
+
+def test_linked_defined_vars_merge():
+    rt, refs = runtime_with({
+        0: (-44, 0, 8),
+        1: (-36, 0, 4),
+    }, links=[(0, 1)])
+    layout = build_frame_layout("f", refs, rt)
+    assert len(layout.variables) == 1
+    assert layout.variables[0].start == -44
+    assert layout.variables[0].end == -32
+
+
+def test_linked_undefined_attaches_without_extending():
+    # End pointer (Figure 3): never dereferenced, linked via comparison.
+    rt, refs = runtime_with({
+        0: (-44, 0, 24),
+        1: (-20, None, None),
+    }, links=[(0, 1)])
+    layout = build_frame_layout("f", refs, rt)
+    assert len(layout.variables) == 1
+    var = layout.variables[0]
+    assert (var.start, var.end) == (-44, -20)
+    assert layout.ref_to_var[1] is var
+
+
+def test_unlinked_undefined_positional_attachment():
+    rt, refs = runtime_with({
+        0: (-44, 0, 24),
+        1: (-28, None, None),   # inside [−44, −20)
+        2: (-100, None, None),  # nowhere: speculative singleton
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert layout.ref_to_var[1] is layout.ref_to_var[0]
+    lonely = layout.ref_to_var[2]
+    assert (lonely.start, lonely.end) == (-100, -96)
+
+
+def test_positive_offsets_excluded_from_frame():
+    rt, refs = runtime_with({
+        0: (-8, 0, 4),
+        1: (8, 0, 4),   # argument area: not a frame variable
+    })
+    layout = build_frame_layout("f", refs, rt)
+    assert 1 not in layout.ref_to_var
+    assert len(layout.variables) == 1
+
+
+def _module_with_calls():
+    m = Module()
+    for name in ("a", "b", "t1", "t2"):
+        f = Function(name, ["sp"])
+        f.orig_entry = 0x1000
+        m.add_function(f)
+    return m
+
+
+def test_super_signature_union_and_gap_filling():
+    m = _module_with_calls()
+    mi = ModuleInstrumentation()
+    fa = FunctionInstrumentation(m.functions["a"])
+    call1 = Call(FuncRef("t1"), [Const(0)])
+    call1.block = None
+    call2 = Call(FuncRef("t1"), [Const(0)])
+    fa.callsites = {0: call1, 1: call2}
+    mi.functions["a"] = fa
+    rt = TracingRuntime()
+    # Site 0 touched slots 0..1 (8 bytes); site 1 touched slot 2 only.
+    rt.arg_accesses[0] = ArgAccess(0, 0, 8, {"t1"})
+    rt.arg_accesses[1] = ArgAccess(1, 8, 12, {"t1"})
+    plan = build_signatures(rt, mi, m)
+    assert plan.stack_args["t1"] == 3        # union, gaps filled
+    assert plan.callsite_args[0] == 3
+    assert plan.callsite_args[1] == 3
+
+
+def test_indirect_targets_unified():
+    m = _module_with_calls()
+    mi = ModuleInstrumentation()
+    fa = FunctionInstrumentation(m.functions["a"])
+    ind = CallInd(Const(0x1000), [Const(0)])
+    fa.callsites = {5: ind}
+    mi.functions["a"] = fa
+    mi.functions["t1"] = FunctionInstrumentation(m.functions["t1"])
+    mi.functions["t2"] = FunctionInstrumentation(m.functions["t2"])
+    rt = TracingRuntime()
+    rt.arg_accesses[5] = ArgAccess(5, 0, 4, {"t1", "t2"})
+    plan = build_signatures(rt, mi, m)
+    # Both indirect targets agree on the unified argument count.
+    assert plan.stack_args["t1"] == plan.stack_args["t2"] == 1
+    assert plan.callsite_args[5] == 1

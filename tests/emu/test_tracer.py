@@ -1,0 +1,60 @@
+"""Control-transfer tracing and trace merging."""
+
+from repro.emu import trace_binary
+from repro.isa import (
+    AsmFunction,
+    AsmProgram,
+    EAX,
+    Imm,
+    ImportRef,
+    Label,
+    assemble,
+    ins,
+    jcc,
+)
+
+
+def image_with_branch():
+    f = AsmFunction("_start", [
+        ins("mov", EAX, Imm(0)),
+        ins("call", ImportRef("read_int")),
+        ins("cmp", EAX, Imm(5)),
+        jcc("l", Label("low")),
+        ins("mov", EAX, Imm(1)),
+        ins("hlt"),
+        "low",
+        ins("mov", EAX, Imm(2)),
+        ins("hlt"),
+    ])
+    return assemble(AsmProgram(functions=[f], imports=["read_int"]))
+
+
+def test_trace_records_taken_direction_only():
+    image = image_with_branch()
+    traces = trace_binary(image, [[9]])
+    kinds = {t.kind for t in traces.transfers}
+    assert "fallthrough" in kinds
+    assert "import" in kinds
+    jumps = [t for t in traces.transfers if t.kind == "jump"]
+    assert not jumps  # branch not taken with input 9
+
+
+def test_trace_merging_accumulates_coverage():
+    image = image_with_branch()
+    solo = trace_binary(image, [[9]])
+    both = trace_binary(image, [[9], [1]])
+    assert len(both.executed) > len(solo.executed)
+    assert len(both.results) == 2
+    assert both.results[0].exit_code == 1
+    assert both.results[1].exit_code == 2
+
+
+def test_call_targets_extracted():
+    f = AsmFunction("_start", [
+        ins("call", Label("fn")),
+        ins("hlt"),
+    ])
+    g = AsmFunction("fn", [ins("mov", EAX, Imm(3)), ins("ret")])
+    image = assemble(AsmProgram(functions=[f, g]))
+    traces = trace_binary(image, [[]])
+    assert image.symbols["fn"] in traces.call_targets

@@ -1,0 +1,84 @@
+"""Random MiniC program generator for differential testing.
+
+Generates closed, deterministic, terminating programs: straight-line
+arithmetic over a pool of int variables and a fixed-size array, bounded
+loops, conditionals, and helper-function calls.  Division and remainder
+are emitted with guarded divisors so no run traps.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth > 2 or r.random() < 0.35:
+            choice = r.randrange(3)
+            if choice == 0:
+                return str(r.randrange(-50, 50))
+            if choice == 1:
+                return r.choice("abcd")
+            return f"arr[{r.randrange(8)}]"
+        op = r.choice(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                       "/", "%"])
+        lhs = self.expr(depth + 1)
+        rhs = self.expr(depth + 1)
+        if op in ("/", "%"):
+            return f"({lhs} {op} (({rhs} & 7) + 1))"
+        if op in ("<<", ">>"):
+            return f"({lhs} {op} ({rhs} & 3))"
+        return f"({lhs} {op} {rhs})"
+
+    def cond(self) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"({self.expr(2)}) {op} ({self.expr(2)})"
+
+    def stmt(self, depth: int = 0) -> str:
+        r = self.rng
+        roll = r.random()
+        if roll < 0.45 or depth > 1:
+            target = r.choice(["a", "b", "c", "d", f"arr[{r.randrange(8)}]"])
+            op = r.choice(["=", "+=", "-=", "^="])
+            return f"{target} {op} {self.expr()};"
+        if roll < 0.65:
+            return (f"if ({self.cond()}) {{ {self.stmt(depth + 1)} }} "
+                    f"else {{ {self.stmt(depth + 1)} }}")
+        if roll < 0.85:
+            body = " ".join(self.stmt(depth + 1)
+                            for _ in range(r.randrange(1, 3)))
+            return (f"for (i = 0; i < {r.randrange(2, 7)}; i++) "
+                    f"{{ {body} }}")
+        return f"a = helper({self.expr(2)}, {self.expr(2)});"
+
+    def program(self) -> str:
+        body = "\n    ".join(self.stmt() for _ in range(8))
+        return f"""
+int arr[8];
+int helper(int x, int y) {{
+    int local[4];
+    local[0] = x + y;
+    local[1] = x - y;
+    local[2] = x ^ y;
+    local[3] = (x & 15) * (y & 15);
+    return local[0] + local[1] - local[2] + local[3];
+}}
+int main() {{
+    int a = 1, b = 2, c = 3, d = 4;
+    int i;
+    for (i = 0; i < 8; i++) arr[i] = i * 5 - 3;
+    {body}
+    printf("%d %d %d %d\\n", a, b, c, d);
+    for (i = 0; i < 8; i++) printf("%d ", arr[i]);
+    printf("\\n");
+    return 0;
+}}
+"""
+
+
+def generate(seed: int) -> str:
+    return ProgramGenerator(seed).program()

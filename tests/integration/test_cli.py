@@ -1,0 +1,76 @@
+"""The ``python -m repro`` command-line interface."""
+
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = r"""
+int main() {
+    int n = read_int();
+    printf("double=%d\n", n * 2);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return path
+
+
+def test_compile_run_roundtrip(source_file, tmp_path, capsys):
+    image = tmp_path / "prog.img.json"
+    assert main(["compile", str(source_file), "-o", str(image)]) == 0
+    assert main(["run", str(image), "--input", "int:21"]) == 0
+    out = capsys.readouterr().out
+    assert "double=42" in out
+    assert "[exit 0" in out
+
+
+def test_recompile_wytiwyg(source_file, tmp_path, capsys):
+    image = tmp_path / "prog.img.json"
+    recovered = tmp_path / "rec.img.json"
+    main(["compile", str(source_file), "-o", str(image)])
+    assert main(["recompile", str(image), "-o", str(recovered),
+                 "--input", "int:5"]) == 0
+    assert main(["run", str(recovered), "--input", "int:5"]) == 0
+    out = capsys.readouterr().out
+    assert "double=10" in out
+
+
+def test_recompile_binrec(source_file, tmp_path, capsys):
+    image = tmp_path / "prog.img.json"
+    recovered = tmp_path / "rec.img.json"
+    main(["compile", str(source_file), "-o", str(image)])
+    main(["recompile", str(image), "-o", str(recovered),
+          "--pipeline", "binrec", "--input", "int:5"])
+    main(["run", str(recovered), "--input", "int:5"])
+    assert "double=10" in capsys.readouterr().out
+
+
+def test_layout_command(source_file, tmp_path, capsys):
+    image = tmp_path / "prog.img.json"
+    main(["compile", str(source_file), "-o", str(image),
+          "--compiler", "gcc44"])
+    assert main(["layout", str(image), "--input", "int:5"]) == 0
+    out = capsys.readouterr().out
+    assert "fn_" in out and "bytes" in out
+
+
+def test_multiple_input_runs(source_file, tmp_path, capsys):
+    image = tmp_path / "prog.img.json"
+    main(["compile", str(source_file), "-o", str(image)])
+    main(["run", str(image), "--input", "int:1", "/", "int:2"])
+    out = capsys.readouterr().out
+    assert "double=2" in out and "double=4" in out
+
+
+def test_bad_input_spec_rejected(source_file, tmp_path):
+    image = tmp_path / "prog.img.json"
+    main(["compile", str(source_file), "-o", str(image)])
+    with pytest.raises(SystemExit):
+        main(["run", str(image), "--input", "float:1"])

@@ -1,0 +1,37 @@
+"""Every example script must run to completion (they self-assert)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "behaviour preserved" in out
+
+
+def test_reoptimize_legacy(capsys):
+    run_example("reoptimize_legacy.py")
+    out = capsys.readouterr().out
+    assert "WYTIWYG speedup over the legacy binary" in out
+
+
+def test_stack_sanitizer(capsys):
+    run_example("stack_sanitizer.py")
+    out = capsys.readouterr().out
+    assert "overflow caught" in out
+
+
+def test_incremental_lifting(capsys):
+    run_example("incremental_lifting.py")
+    out = capsys.readouterr().out
+    assert "coverage repaired" in out

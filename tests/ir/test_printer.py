@@ -1,0 +1,52 @@
+"""IR textual rendering."""
+
+from repro.ir import (
+    Builder,
+    Const,
+    Function,
+    GlobalRef,
+    GlobalVar,
+    Module,
+    function_to_text,
+    module_to_text,
+)
+
+
+def test_function_rendering():
+    f = Function("f", ["x"])
+    f.orig_entry = 0x8048000
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    v = b.add(f.params[0], Const(1))
+    b.ret([v])
+    text = function_to_text(f)
+    assert "func @f(%x) -> 1" in text
+    assert "orig 0x8048000" in text
+    assert "%0 = add %x, 1" in text
+    assert "ret %0" in text
+
+
+def test_module_rendering():
+    m = Module("demo")
+    m.add_global(GlobalVar("g", 16, fixed_addr=0x2000))
+    f = Function("main", [])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.store(GlobalRef("g"), Const(1))
+    b.ret([Const(0)])
+    m.add_function(f)
+    text = module_to_text(m)
+    assert "global @g [16 bytes] @ 0x2000" in text
+    assert "store.4 @g, 1" in text
+
+
+def test_renumber_skips_void_instructions():
+    f = Function("f", [])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    v = b.add(Const(1), Const(2))
+    b.store(v, Const(3))
+    w = b.add(v, Const(4))
+    b.ret([w])
+    f.renumber()
+    assert v.name == "0" and w.name == "1"

@@ -1,0 +1,123 @@
+"""IR verifier catches malformed structures."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Builder,
+    Call,
+    Const,
+    FuncRef,
+    Function,
+    GlobalRef,
+    Module,
+    Phi,
+    Ret,
+    verify_function,
+    verify_module,
+)
+
+
+def valid_function():
+    f = Function("f", ["x"])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.ret([f.params[0]])
+    return f
+
+
+def test_valid_function_passes():
+    verify_function(valid_function())
+
+
+def test_missing_terminator_rejected():
+    f = Function("f", [])
+    f.add_block("entry")
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_foreign_value_rejected():
+    f = valid_function()
+    other = Function("g", ["y"])
+    f.entry.instrs[-1].ops = [other.params[0]]
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_ret_arity_checked():
+    f = Function("f", [])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.ret([Const(0), Const(1)])
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_phi_preds_must_match():
+    f = Function("f", [])
+    b = Builder(f)
+    e = f.add_block("entry")
+    t = f.add_block("t")
+    u = f.add_block("u")
+    b.position(e)
+    b.br(t)
+    b.position(t)
+    phi = Phi([(u, Const(1))])  # wrong: pred is entry, not u
+    phi.block = t
+    t.instrs.insert(0, phi)
+    b.ret([phi])
+    with pytest.raises(IRError):
+        verify_function(f)
+
+
+def test_module_checks_call_arity():
+    m = Module()
+    callee = Function("callee", ["a", "b"])
+    b = Builder(callee)
+    b.position(callee.add_block("entry"))
+    b.ret([Const(0)])
+    m.add_function(callee)
+
+    caller = Function("caller", [])
+    b = Builder(caller)
+    b.position(caller.add_block("entry"))
+    call = b.call("callee", [Const(1)])  # too few args
+    b.ret([call])
+    m.add_function(caller)
+    m.entry_name = "caller"
+    with pytest.raises(IRError):
+        verify_module(m)
+
+
+def test_module_checks_unknown_global():
+    m = Module()
+    f = Function("f", [])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    v = b.load(GlobalRef("nope"))
+    b.ret([v])
+    m.add_function(f)
+    m.entry_name = "f"
+    with pytest.raises(IRError):
+        verify_module(m)
+
+
+def test_result_index_bounds():
+    m = Module()
+    callee = Function("c", [])
+    b = Builder(callee)
+    b.position(callee.add_block("entry"))
+    b.ret([Const(0), Const(1)])
+    callee.nresults = 2
+    m.add_function(callee)
+
+    caller = Function("f", [])
+    b = Builder(caller)
+    b.position(caller.add_block("entry"))
+    call = b.call("c", [], nresults=2)
+    bad = b.result(call, 5)
+    b.ret([bad])
+    m.add_function(caller)
+    with pytest.raises(IRError):
+        verify_module(m)

@@ -1,0 +1,50 @@
+"""Disassembler: decode-at, caching, linear sweep, listings."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import AsmFunction, AsmProgram, EAX, Imm, assemble, ins
+from repro.isa.disassembler import Disassembler
+
+
+def build():
+    f = AsmFunction("_start", [
+        ins("mov", EAX, Imm(1)),
+        ins("add", EAX, Imm(2)),
+        ins("hlt"),
+    ])
+    return assemble(AsmProgram(functions=[f]))
+
+
+def test_decode_at_assigns_addresses():
+    image = build()
+    d = Disassembler(image)
+    first = d.at(image.entry)
+    assert first.mnemonic == "mov" and first.addr == image.entry
+    second = d.at(image.entry + first.size)
+    assert second.mnemonic == "add"
+
+
+def test_decoding_is_cached():
+    image = build()
+    d = Disassembler(image)
+    assert d.at(image.entry) is d.at(image.entry)
+
+
+def test_linear_sweep_covers_whole_text():
+    image = build()
+    instrs = Disassembler(image).linear()
+    assert [i.mnemonic for i in instrs] == ["mov", "add", "hlt"]
+    assert sum(i.size for i in instrs) == len(image.text.data)
+
+
+def test_out_of_text_address_rejected():
+    image = build()
+    with pytest.raises(EncodingError):
+        Disassembler(image).at(0x1000)
+
+
+def test_listing_mentions_symbols():
+    image = build()
+    text = Disassembler(image).listing()
+    assert "_start:" in text and "hlt" in text

@@ -1,0 +1,101 @@
+"""Byte encoding: every operand shape must round-trip exactly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import CONDITION_CODES, EAX, EBX, ESP, Imm, ImportRef, \
+    Label, Mem, ins, jcc, setcc
+from repro.isa.encoding import decode, encode
+from repro.isa.registers import Reg
+
+IMPORTS = {"printf": 0, "exit": 1}
+NAMES = ["printf", "exit"]
+
+
+def round_trip(instr):
+    raw = encode(instr, IMPORTS)
+    decoded, size = decode(raw, 0, NAMES)
+    assert size == len(raw)
+    assert decoded.mnemonic == instr.mnemonic
+    assert decoded.cc == instr.cc
+    assert decoded.operands == instr.operands
+    return decoded
+
+
+def test_simple_round_trips():
+    round_trip(ins("mov", EAX, Imm(42)))
+    round_trip(ins("ret"))
+    round_trip(ins("push", Mem(ESP, disp=-8)))
+    round_trip(ins("call", ImportRef("printf")))
+    round_trip(setcc("ne", Reg(2, 1)))
+
+
+def test_all_condition_codes_encode_distinctly():
+    codes = set()
+    for cc in CONDITION_CODES:
+        raw = encode(jcc(cc, Imm(0x1000)), IMPORTS)
+        codes.add(raw[0])
+        round_trip(jcc(cc, Imm(0x1000)))
+    assert len(codes) == len(CONDITION_CODES)
+
+
+def test_negative_immediates():
+    decoded = round_trip(ins("add", ESP, Imm(-16)))
+    imm = decoded.operands[1]
+    assert imm.value == -16
+
+
+def test_mem_full_form():
+    m = Mem(EBX, EAX, 4, -1234, 2)
+    round_trip(ins("mov", Reg(0, 2), m))
+
+
+def test_unknown_import_rejected():
+    with pytest.raises(EncodingError):
+        encode(ins("call", ImportRef("nope")), IMPORTS)
+
+
+def test_unresolved_label_rejected():
+    with pytest.raises(EncodingError):
+        encode(ins("jmp", Label("later")), IMPORTS)
+
+
+def test_bad_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(b"\xff\x00", 0, NAMES)
+
+
+REGS32 = st.sampled_from([Reg(i) for i in range(8)])
+IMMS = st.integers(min_value=-(2**31), max_value=2**31 - 1).map(Imm)
+
+
+@st.composite
+def mems(draw):
+    base = draw(st.one_of(st.none(), REGS32))
+    index = draw(st.one_of(st.none(), REGS32))
+    scale = draw(st.sampled_from([1, 2, 4, 8]))
+    disp = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    size = draw(st.sampled_from([1, 2, 4]))
+    return Mem(base, index, scale, disp, size)
+
+
+@given(st.sampled_from(["mov", "add", "sub", "and", "or", "xor", "cmp"]),
+       st.one_of(REGS32, mems()), st.one_of(REGS32, IMMS, mems()))
+def test_two_operand_round_trip_property(mnemonic, dst, src):
+    round_trip(ins(mnemonic, dst, src))
+
+
+@given(st.lists(st.sampled_from(
+    [ins("nop"), ins("ret"), ins("push", EAX), ins("pop", EBX),
+     ins("mov", EAX, Imm(7)), ins("cdq"), ins("leave")]),
+    min_size=1, max_size=20))
+def test_instruction_stream_decodes_in_sequence(instrs):
+    blob = b"".join(encode(i, IMPORTS) for i in instrs)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        instr, size = decode(blob, offset, NAMES)
+        decoded.append(instr)
+        offset += size
+    assert [d.mnemonic for d in decoded] == [i.mnemonic for i in instrs]

@@ -1,0 +1,78 @@
+"""Register views: naming, sub-register read/write semantics."""
+
+import pytest
+
+from repro.isa.registers import (
+    AH,
+    AL,
+    AX,
+    EAX,
+    ESP,
+    GPR32,
+    Reg,
+    read_view,
+    reg,
+    write_view,
+)
+
+
+def test_lookup_by_name():
+    assert reg("eax") == EAX
+    assert reg("AX") == AX
+    assert reg("%al") == AL
+    assert reg("ah").high8
+
+
+def test_unknown_register_rejected():
+    with pytest.raises(ValueError):
+        reg("rax")
+
+
+def test_all_gpr32_names_round_trip():
+    for i, name in enumerate(GPR32):
+        r = reg(name)
+        assert r.index == i and r.width == 4
+        assert r.name == name
+
+
+def test_invalid_views_rejected():
+    with pytest.raises(ValueError):
+        Reg(6, 1)  # esi has no low-8 view
+    with pytest.raises(ValueError):
+        Reg(5, 1, high8=True)  # ebp has no high-8 view
+    with pytest.raises(ValueError):
+        Reg(0, 3)
+
+
+def test_full_property():
+    assert AL.full == EAX
+    assert AH.full == EAX
+    assert AX.full == EAX
+
+
+def test_read_views():
+    value = 0x12345678
+    assert read_view(value, EAX) == 0x12345678
+    assert read_view(value, AX) == 0x5678
+    assert read_view(value, AL) == 0x78
+    assert read_view(value, AH) == 0x56
+
+
+def test_write_full_truncates():
+    assert write_view(0, EAX, 0x1_2345_6789) == 0x23456789
+
+
+def test_partial_writes_preserve_upper_bits():
+    base = 0xAABBCCDD
+    assert write_view(base, AL, 0x11) == 0xAABBCC11
+    assert write_view(base, AH, 0x22) == 0xAABB22DD
+    assert write_view(base, AX, 0x3344) == 0xAABB3344
+
+
+def test_write_view_masks_value():
+    assert write_view(0, AL, 0x1FF) == 0xFF
+    assert write_view(0, AX, 0xF0001) == 0x1
+
+
+def test_esp_is_index_4():
+    assert ESP.index == 4

@@ -1,0 +1,131 @@
+"""Alloca promotion to SSA."""
+
+from repro.ir import (
+    Alloca,
+    Builder,
+    Const,
+    Function,
+    Load,
+    Module,
+    Phi,
+    Store,
+    run_module,
+    verify_function,
+)
+from repro.opt import promotable_allocas, promote_allocas
+
+
+def build():
+    m = Module()
+    f = Function("main", ["n"])
+    m.add_function(f)
+    m.entry_name = "main"
+    return m, f, Builder(f)
+
+
+def test_scalar_promotion_removes_memory_ops():
+    m, f, b = build()
+    b.position(f.add_block("entry"))
+    slot = b.alloca(4)
+    b.store(slot, Const(41))
+    v = b.load(slot)
+    b.ret([b.add(v, Const(1))])
+    assert promote_allocas(f)
+    verify_function(f)
+    kinds = [type(i) for i in f.instructions()]
+    assert Alloca not in kinds and Load not in kinds and Store not in kinds
+    assert run_module(m).exit_code == 42
+
+
+def test_loop_promotion_inserts_phi():
+    m, f, b = build()
+    entry = f.add_block("entry")
+    head = f.add_block("head")
+    body = f.add_block("body")
+    done = f.add_block("done")
+    b.position(entry)
+    i_slot = b.alloca(4, name="i")
+    b.store(i_slot, Const(0))
+    b.br(head)
+    b.position(head)
+    iv = b.load(i_slot)
+    c = b.icmp("slt", iv, Const(4))
+    b.condbr(c, body, done)
+    b.position(body)
+    b.store(i_slot, b.add(b.load(i_slot), Const(1)))
+    b.br(head)
+    b.position(done)
+    b.ret([b.load(i_slot)])
+    assert promote_allocas(f)
+    verify_function(f)
+    assert any(isinstance(i, Phi) for i in f.instructions())
+    assert run_module(m).exit_code == 4
+
+
+def test_escaping_alloca_not_promoted():
+    m, f, b = build()
+    b.position(f.add_block("entry"))
+    slot = b.alloca(4)
+    b.store(slot, Const(1))
+    b.call_external("free", [slot])  # address escapes
+    b.ret([b.load(slot)])
+    assert slot not in promotable_allocas(f)
+
+
+def test_mixed_sizes_not_promoted_when_wider_load():
+    m, f, b = build()
+    b.position(f.add_block("entry"))
+    slot = b.alloca(4)
+    b.store(slot, Const(0xAB), 1)
+    v = b.load(slot, 4)  # wider than the store
+    b.ret([v])
+    assert slot not in promotable_allocas(f)
+
+
+def test_narrow_load_of_wide_store_promoted_with_ext():
+    m, f, b = build()
+    b.position(f.add_block("entry"))
+    slot = b.alloca(4)
+    b.store(slot, Const(0x1234), 4)
+    v = b.load(slot, 1)
+    b.ret([v])
+    before = run_module(m).exit_code
+    assert promote_allocas(f)
+    verify_function(f)
+    assert run_module(m).exit_code == before == 0x34
+
+
+def test_load_before_store_yields_zero():
+    m, f, b = build()
+    b.position(f.add_block("entry"))
+    slot = b.alloca(4)
+    v = b.load(slot)
+    b.store(slot, Const(5))
+    b.ret([v])
+    promote_allocas(f)
+    assert run_module(m).exit_code == 0
+
+
+def test_diamond_control_flow_phi_values():
+    m, f, b = build()
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    els = f.add_block("else")
+    join = f.add_block("join")
+    b.position(entry)
+    slot = b.alloca(4)
+    cond = b.icmp("sgt", f.params[0], Const(0))
+    b.condbr(cond, then, els)
+    b.position(then)
+    b.store(slot, Const(10))
+    b.br(join)
+    b.position(els)
+    b.store(slot, Const(20))
+    b.br(join)
+    b.position(join)
+    b.ret([b.load(slot)])
+    promote_allocas(f)
+    verify_function(f)
+    from repro.ir import Interpreter
+    assert Interpreter(m).run(args=[1]).exit_code == 10
+    assert Interpreter(m).run(args=[0]).exit_code == 20

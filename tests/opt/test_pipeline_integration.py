@@ -1,0 +1,55 @@
+"""Pipeline-level optimizer invariants."""
+
+from repro.cc import compile_to_ir, personality
+from repro.ir import run_module, verify_module
+from repro.opt import OptOptions, optimize_module
+from tests.conftest import FEATURE_SOURCE, KERNEL_SOURCE
+
+
+def test_optimization_levels_preserve_semantics():
+    reference = None
+    for level in ("0", "3"):
+        module = compile_to_ir(KERNEL_SOURCE, "k",
+                               personality("gcc12", level))
+        result = run_module(module)
+        if reference is None:
+            reference = (result.stdout, result.exit_code)
+        assert (result.stdout, result.exit_code) == reference
+
+
+def test_optimize_is_idempotent_on_behaviour():
+    module = compile_to_ir(FEATURE_SOURCE, "f", personality("gcc12", "0"))
+    before = run_module(module).stdout
+    optimize_module(module, OptOptions.o3())
+    verify_module(module)
+    mid = run_module(module).stdout
+    optimize_module(module, OptOptions.o3())
+    verify_module(module)
+    after = run_module(module).stdout
+    assert before == mid == after
+
+
+def test_optimization_reduces_instruction_count():
+    module = compile_to_ir(FEATURE_SOURCE, "f", personality("gcc12", "0"))
+    count = lambda: sum(len(b.instrs) for f in module.functions.values()
+                        for b in f.blocks)
+    before = count()
+    optimize_module(module, OptOptions.o3())
+    assert count() < before
+
+
+def test_dead_private_functions_dropped():
+    src = """
+int unused_helper(int x) { return x * 2; }
+int main() { printf("%d\\n", 5); return 0; }
+"""
+    module = compile_to_ir(src, "t", personality("gcc12", "3"))
+    assert "unused_helper" not in module.functions
+
+
+def test_o0_produces_no_phis():
+    module = compile_to_ir(KERNEL_SOURCE, "k", personality("gcc12", "0"))
+    from repro.ir import Phi
+    assert not any(isinstance(i, Phi)
+                   for f in module.functions.values()
+                   for i in f.instructions())

@@ -1,0 +1,207 @@
+"""The native backend: conventions, addressing, ground truth."""
+
+import pytest
+
+from repro.errors import LowerError
+from repro.ir import Builder, Const, Function, GlobalRef, GlobalVar, \
+    Module
+from repro.isa import Disassembler
+from repro.emu import run_binary
+from repro.recompile import LowerOptions, compile_ir, recompile_ir
+
+
+def module_returning(build_body, params=(), nresults=1):
+    m = Module()
+    f = Function("main", list(params))
+    f.nresults = nresults
+    m.add_function(f)
+    m.entry_name = "main"
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    build_body(b, f)
+    return m
+
+
+def test_simple_lowering_runs():
+    m = module_returning(lambda b, f: b.ret(
+        [b.binop("mul", Const(6), Const(7))]))
+    image = compile_ir(m)
+    assert run_binary(image).exit_code == 42
+
+
+def test_alloca_becomes_direct_frame_access():
+    def body(b, f):
+        slot = b.alloca(4, name="x")
+        b.store(slot, Const(9))
+        b.ret([b.load(slot)])
+    image = compile_ir(module_returning(body))
+    listing = Disassembler(image).listing()
+    assert run_binary(image).exit_code == 9
+    # The local is accessed as a direct [frame+disp] operand, not via a
+    # materialized address.
+    assert "[ebp" in listing or "[esp" in listing
+
+
+def test_division_and_remainder():
+    def body(b, f):
+        q = b.binop("div", Const(-29), Const(4))
+        r = b.binop("rem", Const(-29), Const(4))
+        b.ret([b.binop("mul", q, r)])  # (-7) * (-1)
+    image = compile_ir(module_returning(body))
+    assert run_binary(image).exit_code == 7
+
+
+def test_variable_shift():
+    def body(b, f):
+        n = b.add(Const(0), Const(3))
+        v = b.binop("shl", Const(5), b.add(n, Const(1)))
+        b.ret([v])
+    image = compile_ir(module_returning(body))
+    assert run_binary(image).exit_code == 80
+
+
+def test_multi_result_function_round_trip():
+    m = Module()
+    pair = Function("pair", ["sp", "x"])
+    pair.nresults = 2
+    b = Builder(pair)
+    b.position(pair.add_block("entry"))
+    b.ret([b.add(pair.params[1], Const(1)),
+           b.add(pair.params[1], Const(2))])
+    m.add_function(pair)
+    main = Function("main", [])
+    b = Builder(main)
+    b.position(main.add_block("entry"))
+    call = b.call("pair", [Const(0), Const(10)], nresults=2)
+    r0 = b.result(call, 0)
+    r1 = b.result(call, 1)
+    b.ret([b.binop("mul", r0, r1)])
+    m.add_function(main)
+    m.entry_name = "main"
+    image = compile_ir(m, LowerOptions(frame_pointer=False))
+    assert run_binary(image).exit_code == 132
+
+
+def test_seven_results_require_no_frame_pointer():
+    m = Module()
+    f = Function("f", ["sp"])
+    f.nresults = 7
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.ret([Const(i) for i in range(7)])
+    m.add_function(f)
+    main = Function("main", [])
+    b = Builder(main)
+    b.position(main.add_block("entry"))
+    call = b.call("f", [Const(0)], nresults=7)
+    results = [b.result(call, i) for i in range(7)]
+    total = results[0]
+    for r in results[1:]:
+        total = b.add(total, r)
+    b.ret([total])
+    m.add_function(main)
+    m.entry_name = "main"
+    with pytest.raises(LowerError):
+        compile_ir(m, LowerOptions(frame_pointer=True))
+    image = compile_ir(m, LowerOptions(frame_pointer=False))
+    assert run_binary(image).exit_code == sum(range(7))
+
+
+def test_stack_switching_external_call():
+    # A CallExt with stack args must point esp at the argument area.
+    m = Module()
+    m.add_global(GlobalVar("area", 16, b""))
+    m.add_global(GlobalVar("fmt", 8, b"n=%d!\x00"))
+    f = Function("main", [])
+    m.add_function(f)
+    m.entry_name = "main"
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.store(GlobalRef("area"), GlobalRef("fmt"))
+    b.store(b.add(GlobalRef("area"), Const(4)), Const(55))
+    b.call_external("printf", [], sp=GlobalRef("area"))
+    b.ret([Const(0)])
+    image = compile_ir(m, LowerOptions(frame_pointer=False))
+    result = run_binary(image)
+    assert result.stdout == b"n=55!"
+
+
+def test_ground_truth_records_allocas():
+    def body(b, f):
+        b.alloca(24, name="buf")
+        b.alloca(4, name="x")
+        b.ret([Const(0)])
+    m = module_returning(body)
+    image = compile_ir(m)
+    gt = next(g for g in image.ground_truth if g.func_name == "main")
+    named = {o.name: o for o in gt.objects}
+    assert named["buf"].size == 24
+    assert named["x"].size == 4
+    assert all(o.offset < 0 for o in gt.objects)
+
+
+def test_phi_swap_pattern_lowered_correctly():
+    # Swapping loop-carried values exercises the parallel phi copies.
+    m = Module()
+    f = Function("main", [])
+    m.add_function(f)
+    m.entry_name = "main"
+    b = Builder(f)
+    entry = f.add_block("entry")
+    loop = f.add_block("loop")
+    done = f.add_block("done")
+    b.position(entry)
+    b.br(loop)
+    b.position(loop)
+    a = b.phi([])
+    c = b.phi([])
+    i = b.phi([])
+    a.add_incoming(entry, Const(1))
+    c.add_incoming(entry, Const(2))
+    i.add_incoming(entry, Const(0))
+    nxt = b.add(i, Const(1))
+    a.add_incoming(loop, c)   # swap
+    c.add_incoming(loop, a)
+    i.add_incoming(loop, nxt)
+    cond = b.icmp("slt", nxt, Const(5))
+    b.condbr(cond, loop, done)
+    b.position(done)
+    b.ret([b.add(b.binop("mul", a, Const(10)), c)])
+    from repro.ir import run_module
+    expected = run_module(m).exit_code  # IR semantics as the oracle
+    image = compile_ir(m, LowerOptions(frame_pointer=False))
+    assert run_binary(image).exit_code == expected == 12
+
+
+def test_peephole_removes_redundant_moves():
+    def body(b, f):
+        v = b.add(Const(1), Const(2))
+        w = b.add(v, v)
+        b.ret([w])
+    with_peep = compile_ir(module_returning(body))
+    def body2(b, f):
+        v = b.add(Const(1), Const(2))
+        w = b.add(v, v)
+        b.ret([w])
+    without = compile_ir(module_returning(body2),
+                         LowerOptions(peephole=False))
+    assert len(with_peep.text.data) <= len(without.text.data)
+
+
+def test_fold_chains_option_changes_code():
+    def body(b, f):
+        slot = b.alloca(64, name="arr")
+        addr = b.add(slot, Const(12))
+        b.store(addr, Const(5))
+        b.ret([b.load(b.add(slot, Const(12)))])
+    folded = compile_ir(module_returning(body))
+    def body2(b, f):
+        slot = b.alloca(64, name="arr")
+        addr = b.add(slot, Const(12))
+        b.store(addr, Const(5))
+        b.ret([b.load(b.add(slot, Const(12)))])
+    unfolded = compile_ir(module_returning(body2),
+                          LowerOptions(fold_chains=False))
+    assert run_binary(folded).exit_code == 5
+    assert run_binary(unfolded).exit_code == 5
+    assert len(folded.text.data) < len(unfolded.text.data)

@@ -1,0 +1,38 @@
+"""Spot-check the full WYTIWYG pipeline on real workloads.
+
+The complete sweep lives in benchmarks/; these tests pin the invariants
+on the two cheapest workloads so plain ``pytest tests/`` still covers the
+end-to-end path on realistic programs.
+"""
+
+import pytest
+
+from repro.core import wytiwyg_recompile
+from repro.emu import run_binary
+from repro.workloads import WORKLOADS
+
+CHEAP = ("gcc", "xalancbmk")
+
+
+@pytest.mark.parametrize("name", CHEAP)
+def test_workload_recompiles_faithfully(name):
+    workload = WORKLOADS[name]
+    image = workload.compile("gcc12", "3")
+    result = wytiwyg_recompile(image, workload.inputs())
+    assert not result.fallback
+    for items in workload.inputs():
+        native = run_binary(image, items)
+        recovered = run_binary(result.recovered, items,
+                               max_instructions=20_000_000)
+        assert recovered.stdout == native.stdout
+        assert recovered.exit_code == native.exit_code
+
+
+@pytest.mark.parametrize("name", CHEAP)
+def test_workload_accuracy_positive(name):
+    workload = WORKLOADS[name]
+    image = workload.compile("gcc12", "3")
+    result = wytiwyg_recompile(image, workload.inputs())
+    assert result.accuracy is not None
+    assert result.accuracy.counts["matched"] > 0
+    assert result.accuracy.recall > 0.5

@@ -1,0 +1,60 @@
+"""Workload suite: every benchmark compiles, runs, and behaves
+deterministically across personalities."""
+
+import pytest
+
+from repro.emu import run_binary
+from repro.workloads import WORKLOAD_ORDER, WORKLOADS
+
+BUDGET = 6_000_000
+
+
+def outputs(image, workload):
+    return [run_binary(image, items, max_instructions=BUDGET)
+            for items in workload.inputs()]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_ORDER)
+def test_runs_and_produces_output(name):
+    workload = WORKLOADS[name]
+    results = outputs(workload.compile("gcc12", "3"), workload)
+    assert all(r.stdout for r in results)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_ORDER)
+def test_output_stable_across_personalities(name):
+    workload = WORKLOADS[name]
+    reference = outputs(workload.compile("gcc12", "3"), workload)
+    for comp, lvl in (("gcc12", "0"), ("gcc44", "3"), ("clang16", "3")):
+        other = outputs(workload.compile(comp, lvl), workload)
+        for a, b in zip(reference, other):
+            assert a.stdout == b.stdout, (name, comp, lvl)
+            assert a.exit_code == b.exit_code
+
+
+def test_suite_has_paper_benchmarks():
+    assert set(WORKLOAD_ORDER) == {
+        "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng",
+        "libquantum", "h264ref", "astar", "xalancbmk"}
+
+
+def test_descriptions_present():
+    for workload in WORKLOADS.values():
+        assert workload.description
+
+
+def test_runs_are_deterministic():
+    workload = WORKLOADS["mcf"]
+    image = workload.compile("gcc12", "3")
+    a = outputs(image, workload)
+    b = outputs(image, workload)
+    assert [r.stdout for r in a] == [r.stdout for r in b]
+    assert [r.cycles for r in a] == [r.cycles for r in b]
+
+
+def test_ground_truth_shipped_with_every_binary():
+    for name in ("gcc", "astar"):
+        image = WORKLOADS[name].compile("gcc12", "3")
+        assert image.ground_truth
+        assert any(o.kind == "var" for g in image.ground_truth
+                   for o in g.objects)
