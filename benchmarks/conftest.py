@@ -19,6 +19,13 @@ from repro.evaluation import QUICK_WORKLOADS
 from repro.workloads import WORKLOAD_ORDER
 
 
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ is wall-time measurement, not tier-1
+    # correctness; tag it so ``-m "not bench"`` filters it out.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def selected_workloads():
     if os.environ.get("REPRO_FULL_EVAL"):
         return WORKLOAD_ORDER

@@ -1,0 +1,78 @@
+"""Engine speedup benches: cached-block machine vs the per-step
+reference, and the compiled IR interpreter vs the isinstance-dispatch
+reference.  Speedup ratios land in ``extra_info`` so a benchmark JSON
+run records them alongside the timings."""
+
+import time
+
+import pytest
+
+from repro.cc import compile_source
+from repro.core.driver import wytiwyg_lift
+from repro.emu import trace_binary
+from repro.ir import Interpreter
+
+SOURCE = r"""
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 40; i++) acc += fib(10) & 7;
+    printf("acc=%d\n", acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_source(SOURCE, "gcc12", "3", "engine_bench")
+
+
+@pytest.fixture(scope="module")
+def traces(image):
+    return trace_binary(image.stripped(), [[]])
+
+
+def _median_seconds(fn, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_bench_machine_blocks(benchmark, image):
+    stripped = image.stripped()
+    reference = _median_seconds(
+        lambda: trace_binary(stripped, [[]], use_blocks=False))
+    result = benchmark(lambda: trace_binary(stripped, [[]]))
+    benchmark.extra_info["reference_seconds"] = reference
+    benchmark.extra_info["speedup_vs_steps"] = \
+        reference / benchmark.stats.stats.median
+
+
+def test_bench_machine_steps_reference(benchmark, image):
+    stripped = image.stripped()
+    benchmark(lambda: trace_binary(stripped, [[]], use_blocks=False))
+
+
+def test_bench_interp_compiled(benchmark, traces):
+    module, _, _ = wytiwyg_lift(traces)
+    run_items = traces.inputs[0]
+    reference = _median_seconds(
+        lambda: Interpreter(module, run_items, compiled=False).run())
+    result = benchmark(
+        lambda: Interpreter(module, run_items, compiled=True).run())
+    benchmark.extra_info["reference_seconds"] = reference
+    benchmark.extra_info["speedup_vs_reference"] = \
+        reference / benchmark.stats.stats.median
+
+
+def test_bench_interp_reference(benchmark, traces):
+    module, _, _ = wytiwyg_lift(traces)
+    run_items = traces.inputs[0]
+    benchmark(
+        lambda: Interpreter(module, run_items, compiled=False).run())

@@ -6,12 +6,15 @@ Usage:
     python examples/run_paper_eval.py            # quick 4-benchmark sweep
     python examples/run_paper_eval.py --full     # all ten benchmarks
     python examples/run_paper_eval.py --fresh    # ignore the disk cache
+    python examples/run_paper_eval.py --jobs 8   # parallel sweep
 
-Results are cached in .eval_cache/; a full cold sweep takes roughly half
-an hour of emulation.
+Results (and intermediate traces/lifts) are cached in .eval_cache/.
+Cells are independent, so ``--jobs N`` fans the first sweep out over a
+process pool; later figures reuse its cached cells.
 """
 
 import argparse
+import os
 import shutil
 import sys
 import time
@@ -33,7 +36,13 @@ def main(argv=None) -> int:
                         help="run all ten benchmarks")
     parser.add_argument("--fresh", action="store_true",
                         help="clear the measurement cache first")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="measure N cells in parallel "
+                             "(0 = all cores)")
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
 
     if args.fresh:
         shutil.rmtree(".eval_cache", ignore_errors=True)
@@ -42,25 +51,27 @@ def main(argv=None) -> int:
 
     def progress(workload, compiler, opt):
         elapsed = time.time() - started
-        print(f"[{elapsed:6.0f}s] measuring {workload} "
+        print(f"[{elapsed:6.0f}s] measured {workload} "
+              f"{compiler}-O{opt}" if jobs > 1 else
+              f"[{elapsed:6.0f}s] measuring {workload} "
               f"{compiler}-O{opt} ...", flush=True)
 
-    table = build_table1(names, progress=progress)
+    table = build_table1(names, progress=progress, jobs=jobs)
     print("\n=== Table 1: normalized runtime vs input binary ===")
     print("(paper geomeans: nosym 1.24/0.76/1.31/1.05, "
           "sym 1.10/0.48/1.06/0.82, SW 1.14)")
     print(table.render())
 
-    fig6 = build_figure6(names)
+    fig6 = build_figure6(names, jobs=jobs)
     print("\n=== Figure 6: normalized to gcc12 -O3 native ===")
     print(fig6.render())
 
-    fig7 = build_figure7(names)
+    fig7 = build_figure7(names, jobs=jobs)
     print("\n=== Figure 7: stack object accuracy ===")
     print("(paper: precision 94.4%, recall 87.6%)")
     print(fig7.render())
 
-    matrix = build_functionality(names)
+    matrix = build_functionality(names, jobs=jobs)
     print("\n=== Functionality (§6.1) ===")
     print(matrix.render())
 

@@ -31,9 +31,15 @@ def binrec_lift(traces: TraceSet, optimize: bool = True) -> Module:
 
 def binrec_recompile(image: BinaryImage,
                      inputs: list[list[int | bytes]],
-                     optimize: bool = True) -> BinaryImage:
-    """End-to-end BinRec: trace, lift, optimize, lower, link."""
-    traces = trace_binary(image, inputs)
+                     optimize: bool = True,
+                     traces: TraceSet | None = None) -> BinaryImage:
+    """End-to-end BinRec: trace, lift, optimize, lower, link.
+
+    Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
+    an existing or cached trace instead of re-executing the binary.
+    """
+    if traces is None:
+        traces = trace_binary(image, inputs)
     module = binrec_lift(traces, optimize)
     return recompile_ir(
         module, LowerOptions(frame_pointer=False),

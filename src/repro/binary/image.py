@@ -103,7 +103,23 @@ class BinaryImage:
         return None
 
     def stripped(self) -> "BinaryImage":
-        """Return a copy without symbols or ground truth (a COTS binary)."""
+        """Return a copy without symbols or ground truth (a COTS binary).
+
+        Memoized: callers strip the same image repeatedly (once per
+        evaluation cell), and returning one object lets the per-image
+        block cache stay warm across those runs.
+        """
+        cached = self.__dict__.get("_stripped")
+        if cached is not None:
+            return cached
+        if not self.symbols and not self.ground_truth:
+            self.__dict__["_stripped"] = self
+            return self
+        stripped = self._strip()
+        self.__dict__["_stripped"] = stripped
+        return stripped
+
+    def _strip(self) -> "BinaryImage":
         return BinaryImage(
             text=self.text,
             data_sections=list(self.data_sections),

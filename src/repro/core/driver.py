@@ -179,11 +179,17 @@ def wytiwyg_recompile(image: BinaryImage,
                       optimize: bool = True,
                       collect_accuracy: bool = True,
                       allow_fallback: bool = True,
-                      hybrid: bool = False) -> WytiwygResult:
+                      hybrid: bool = False,
+                      traces: TraceSet | None = None) -> WytiwygResult:
     """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
     recompile.  Falls back to the unsymbolized (BinRec) pipeline if
-    symbolization fails functional validation."""
-    traces = trace_binary(image, inputs)
+    symbolization fails functional validation.
+
+    Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
+    an existing or cached trace instead of re-executing the binary.
+    """
+    if traces is None:
+        traces = trace_binary(image, inputs)
     try:
         module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid)
         fallback = False

@@ -315,6 +315,7 @@ def instrument_module(module: Module) -> ModuleInstrumentation:
         fi = _FunctionInstrumenter(func, mi).run()
         _fixup_phi_copy_order(func)
         mi.functions[func.name] = fi
+        func.invalidate()  # probes were spliced into instr lists directly
     return mi
 
 
@@ -328,4 +329,6 @@ def strip_probes(module: Module) -> int:
                             and i.intrinsic.startswith("wyt."))]
             removed += len(block.instrs) - len(kept)
             block.instrs = kept
+        if removed:
+            func.invalidate()
     return removed

@@ -20,16 +20,14 @@ from ..errors import EmulationError
 from ..isa.disassembler import Disassembler
 from ..isa.instructions import Imm, ImportRef, Instruction, Mem
 from ..isa.registers import ESP, Reg
+from .blocks import EXIT_SENTINEL, BlockCache, shared_block_cache
 from .cpu import CPU, MASK32, signed32
 from .costs import DEFAULT_COSTS, CostModel
 from .libc import ExitProgram, LibC, StackArgs
 from .memory import Memory
 
-
-#: Sentinel return address pushed by the loader: returning from the
-#: entry function halts the machine with eax as the exit code (the same
-#: convenience a real crt0 provides).
-EXIT_SENTINEL = 0xFFFF0000
+__all__ = ["ControlSink", "EXIT_SENTINEL", "Machine", "RunResult",
+           "run_binary"]
 
 
 class ControlSink(Protocol):
@@ -65,13 +63,28 @@ class Machine:
     max_instructions: int = 80_000_000
     stack_size: int = STACK_SIZE
     trace_sink: ControlSink | None = None
+    #: Execute through the superblock engine (:mod:`repro.emu.blocks`).
+    #: ``False`` selects the per-step reference path; the differential
+    #: tests keep the two in lockstep.
+    use_blocks: bool = True
+    #: Optional pre-built block cache shared across machines (must be
+    #: built over the same image and an equal cost model).
+    blocks: BlockCache | None = None
 
     def __post_init__(self) -> None:
         self.mem = Memory()
         self.mem.load_image(self.image)
         self.cpu = CPU()
         self.libc = LibC(self.mem, self.input_items)
-        self.disasm = Disassembler(self.image)
+        if self.blocks is not None and self.blocks.costs == self.costs:
+            self.disasm = self.blocks.disasm
+        elif self.use_blocks:
+            self.blocks = shared_block_cache(self.image, self.costs,
+                                             _HANDLERS)
+            self.disasm = self.blocks.disasm
+        else:
+            self.disasm = Disassembler(self.image)
+            self.blocks = None
         self.cycles = 0
         self.instructions = 0
         self._halted: int | None = None
@@ -120,16 +133,53 @@ class Machine:
         self.cpu.set(ESP, STACK_TOP - 4)
         self.mem.write(STACK_TOP - 4, 4, EXIT_SENTINEL)
         try:
-            while self._halted is None:
-                self._step()
-                if self.instructions >= self.max_instructions:
-                    raise EmulationError(
-                        f"instruction budget exceeded "
-                        f"({self.max_instructions})")
+            if self.use_blocks:
+                self._run_blocks()
+            else:
+                self._run_steps()
         except ExitProgram as exc:
             self._halted = exc.code
         return RunResult(self._halted, bytes(self.libc.stdout),
                          self.cycles, self.instructions)
+
+    def _run_blocks(self) -> None:
+        """Superblock loop: decode-once blocks of pre-compiled closures.
+
+        Coverage callbacks fire once per block per machine — sinks see
+        each executed address at least once, and coverage is a set, so
+        repeat visits add nothing (the per-step path reports every
+        execution; both produce identical coverage sets).
+        """
+        block_at = self.blocks.block_at
+        cpu = self.cpu
+        sink = self.trace_sink
+        seen: set[int] = set()
+        budget = self.max_instructions
+        while self._halted is None:
+            addr = cpu.eip
+            block = block_at(addr)
+            if sink is not None and addr not in seen:
+                seen.add(addr)
+                executed = sink.executed
+                for a in block.addrs:
+                    executed(a)
+            self.instructions += block.count
+            self.cycles += block.cost
+            for op in block.code:
+                op(self)
+            if self.instructions >= budget:
+                raise EmulationError(
+                    f"instruction budget exceeded ({budget})")
+
+    def _run_steps(self) -> None:
+        """Reference per-step loop (seed semantics, kept for differential
+        testing and cost-model experiments)."""
+        while self._halted is None:
+            self._step()
+            if self.instructions >= self.max_instructions:
+                raise EmulationError(
+                    f"instruction budget exceeded "
+                    f"({self.max_instructions})")
 
     def _step(self) -> None:
         instr = self.disasm.at(self.cpu.eip)
@@ -400,9 +450,12 @@ def run_binary(image: BinaryImage,
                input_items: list[int | bytes] | None = None,
                trace_sink: ControlSink | None = None,
                costs: CostModel = DEFAULT_COSTS,
-               max_instructions: int = 80_000_000) -> RunResult:
+               max_instructions: int = 80_000_000,
+               use_blocks: bool = True,
+               blocks: BlockCache | None = None) -> RunResult:
     """Convenience wrapper: load, run, and return the result."""
     machine = Machine(image, list(input_items or []), costs=costs,
                       max_instructions=max_instructions,
-                      trace_sink=trace_sink)
+                      trace_sink=trace_sink, use_blocks=use_blocks,
+                      blocks=blocks)
     return machine.run()

@@ -5,6 +5,12 @@ pages, so freshly mapped stack/heap/BSS reads as zero.  Both execution
 engines (machine code and lifted IR) share this model, which is what lets
 the lifted program see the exact same address space the original binary
 did — global data stays at its original addresses, as in BinRec.
+
+Hot-path design: push/pop/mov dominate the dynamic instruction mix, so
+4-byte accesses that stay inside one page take a specialized path that
+assembles the value by hand (no intermediate slice object), and the most
+recently touched page is cached to skip the page-table dict on the
+stack-locality common case.
 """
 
 from __future__ import annotations
@@ -16,41 +22,92 @@ PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
+_SPACE_END = 0x100000000
+
 
 class Memory:
     """Sparse little-endian byte memory over 4 KiB pages."""
 
+    __slots__ = ("_pages", "_last_index", "_last_page")
+
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        # One-entry page cache: consecutive accesses overwhelmingly hit
+        # the same page (the stack), so remember the last one touched.
+        self._last_index = -1
+        self._last_page: bytearray | None = None
 
     def _page(self, addr: int) -> bytearray:
-        page = self._pages.get(addr >> PAGE_SHIFT)
+        index = addr >> PAGE_SHIFT
+        if index == self._last_index:
+            return self._last_page  # type: ignore[return-value]
+        page = self._pages.get(index)
         if page is None:
             page = bytearray(PAGE_SIZE)
-            self._pages[addr >> PAGE_SHIFT] = page
+            self._pages[index] = page
+        self._last_index = index
+        self._last_page = page
         return page
 
     def read(self, addr: int, size: int) -> int:
         """Read an unsigned little-endian integer of ``size`` bytes."""
-        if addr < 0 or addr + size > 0x100000000:
-            raise EmulationError(f"read outside address space: {addr:#x}")
         off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            page = self._page(addr)
-            return int.from_bytes(page[off:off + size], "little")
+            if addr < 0 or addr + size > _SPACE_END:
+                raise EmulationError(
+                    f"read outside address space: {addr:#x}")
+            index = addr >> PAGE_SHIFT
+            if index == self._last_index:
+                page = self._last_page
+            else:
+                page = self._pages.get(index)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._pages[index] = page
+                self._last_index = index
+                self._last_page = page
+            if size == 4:
+                return (page[off] | page[off + 1] << 8 |          # type: ignore[index]
+                        page[off + 2] << 16 | page[off + 3] << 24)  # type: ignore[index]
+            if size == 1:
+                return page[off]  # type: ignore[index]
+            return int.from_bytes(page[off:off + size], "little")  # type: ignore[index]
+        if addr < 0 or addr + size > _SPACE_END:
+            raise EmulationError(f"read outside address space: {addr:#x}")
         return int.from_bytes(self.read_bytes(addr, size), "little")
 
     def write(self, addr: int, size: int, value: int) -> None:
         """Write an integer as ``size`` little-endian bytes (truncating)."""
-        if addr < 0 or addr + size > 0x100000000:
-            raise EmulationError(f"write outside address space: {addr:#x}")
-        value &= (1 << (8 * size)) - 1
         off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            page = self._page(addr)
-            page[off:off + size] = value.to_bytes(size, "little")
-        else:
-            self.write_bytes(addr, value.to_bytes(size, "little"))
+            if addr < 0 or addr + size > _SPACE_END:
+                raise EmulationError(
+                    f"write outside address space: {addr:#x}")
+            index = addr >> PAGE_SHIFT
+            if index == self._last_index:
+                page = self._last_page
+            else:
+                page = self._pages.get(index)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._pages[index] = page
+                self._last_index = index
+                self._last_page = page
+            if size == 4:
+                page[off] = value & 0xFF          # type: ignore[index]
+                page[off + 1] = (value >> 8) & 0xFF   # type: ignore[index]
+                page[off + 2] = (value >> 16) & 0xFF  # type: ignore[index]
+                page[off + 3] = (value >> 24) & 0xFF  # type: ignore[index]
+            elif size == 1:
+                page[off] = value & 0xFF  # type: ignore[index]
+            else:
+                value &= (1 << (8 * size)) - 1
+                page[off:off + size] = value.to_bytes(size, "little")  # type: ignore[index]
+            return
+        if addr < 0 or addr + size > _SPACE_END:
+            raise EmulationError(f"write outside address space: {addr:#x}")
+        value &= (1 << (8 * size)) - 1
+        self.write_bytes(addr, value.to_bytes(size, "little"))
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         out = bytearray()
@@ -71,13 +128,29 @@ class Memory:
             pos += chunk
 
     def read_cstring(self, addr: int, limit: int = 1 << 16) -> bytes:
-        """Read a NUL-terminated byte string (used by the libc model)."""
+        """Read a NUL-terminated byte string (used by the libc model).
+
+        Scans a whole page at a time with ``bytearray.find`` instead of
+        issuing a one-byte read per character, stepping across page
+        boundaries as needed.
+        """
         out = bytearray()
-        for i in range(limit):
-            b = self.read(addr + i, 1)
-            if b == 0:
+        pos = addr
+        remaining = limit
+        while remaining > 0:
+            if pos < 0 or pos >= _SPACE_END:
+                raise EmulationError(
+                    f"read outside address space: {pos:#x}")
+            off = pos & PAGE_MASK
+            page = self._page(pos)
+            end = min(PAGE_SIZE, off + remaining)
+            nul = page.find(0, off, end)
+            if nul >= 0:
+                out += page[off:nul]
                 return bytes(out)
-            out.append(b)
+            out += page[off:end]
+            pos += end - off
+            remaining -= end - off
         raise EmulationError(f"unterminated string at {addr:#x}")
 
     def load_image(self, image: BinaryImage) -> None:

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..binary.image import BinaryImage
+from .blocks import shared_block_cache
 from .costs import DEFAULT_COSTS, CostModel
-from .machine import Machine, RunResult
+from .machine import Machine, RunResult, _HANDLERS
 
 
 @dataclass(frozen=True)
@@ -26,35 +27,34 @@ class Transfer:
     kind: str  # "call" | "ret" | "jump" | "fallthrough" | "import"
 
 
+class _Sink:
+    """The Machine's ControlSink, built from bound recorder callables.
+
+    The machine fetches ``.transfer`` and ``.executed`` and calls them
+    directly, so there is no adapter frame between the emulator and the
+    recording sets.
+    """
+
+    __slots__ = ("transfer", "executed")
+
+    def __init__(self, transfer, executed):
+        self.transfer = transfer
+        self.executed = executed
+
+
 class Tracer:
     """Collects transfers and coverage during one or more executions."""
 
     def __init__(self) -> None:
         self.transfers: set[Transfer] = set()
         self.executed: set[int] = set()
-
-    # ControlSink protocol -------------------------------------------------
+        #: ControlSink view: ``executed`` is the coverage set's own
+        #: ``add`` method (an attribute named ``executed`` would collide
+        #: with the set, so the sink is a separate two-slot object).
+        self.sink = _Sink(self.transfer, self.executed.add)
 
     def transfer(self, src: int, dst: int, kind: str) -> None:
         self.transfers.add(Transfer(src, dst, kind))
-
-    # Shadowing the method name is fine: the protocol method and the
-    # attribute would collide, so the sink exposes `executed_addr`.
-    def executed_addr(self, addr: int) -> None:
-        self.executed.add(addr)
-
-
-class _SinkAdapter:
-    """Adapts a Tracer to the Machine's ControlSink protocol."""
-
-    def __init__(self, tracer: Tracer):
-        self._tracer = tracer
-
-    def transfer(self, src: int, dst: int, kind: str) -> None:
-        self._tracer.transfer(src, dst, kind)
-
-    def executed(self, addr: int) -> None:
-        self._tracer.executed_addr(addr)
 
 
 @dataclass
@@ -87,18 +87,24 @@ class TraceSet:
 def trace_binary(image: BinaryImage,
                  inputs: list[list[int | bytes]],
                  costs: CostModel = DEFAULT_COSTS,
-                 max_instructions: int = 80_000_000) -> TraceSet:
+                 max_instructions: int = 80_000_000,
+                 use_blocks: bool = True) -> TraceSet:
     """Run ``image`` on every input, merging traces (incremental lifting).
 
     This is the paper's initial tracing phase: each input contributes
-    coverage, and the merged trace set drives lifting.
+    coverage, and the merged trace set drives lifting.  All per-input
+    machines share one decoded/compiled block cache, so the binary is
+    decoded once no matter how many inputs are traced.
     """
     traces = TraceSet(image)
+    blocks = shared_block_cache(image, costs, _HANDLERS) \
+        if use_blocks else None
     for input_items in inputs:
         tracer = Tracer()
         machine = Machine(image, list(input_items), costs=costs,
                           max_instructions=max_instructions,
-                          trace_sink=_SinkAdapter(tracer))
+                          trace_sink=tracer.sink, use_blocks=use_blocks,
+                          blocks=blocks)
         result = machine.run()
         traces.merge(tracer, result, input_items)
     return traces

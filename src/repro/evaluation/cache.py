@@ -1,0 +1,77 @@
+"""Content-addressed on-disk cache for expensive evaluation artifacts.
+
+The sweep re-derives the same intermediate products again and again: the
+same binary is traced for the native/binrec/wytiwyg measurements, and a
+re-run after an unrelated change repeats every lift.  :class:`EvalCache`
+stores pickled :class:`~repro.emu.tracer.TraceSet`s and recompiled
+results keyed by a digest of the *content* that determines them — the
+image's serialized form, the traced inputs, and an options tag — so a
+hit is valid by construction and the cache never needs manual
+invalidation when binaries change.
+
+Writes are atomic (temp file + rename), which makes the cache safe to
+share between the parallel sweep's worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from ..binary.image import BinaryImage
+
+#: Bump to orphan every existing entry after a format change.
+_FORMAT = "v1"
+
+
+class EvalCache:
+    """Pickle store addressed by (image content, inputs, options)."""
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_EVAL_CACHE", ".eval_cache")
+        self.root = Path(root)
+
+    @staticmethod
+    def key(image: BinaryImage, inputs, options: str = "") -> str:
+        """Digest of everything that determines a derived artifact."""
+        h = hashlib.sha256()
+        h.update(image.to_json().encode())
+        h.update(repr(inputs).encode())
+        h.update(options.encode())
+        h.update(_FORMAT.encode())
+        return h.hexdigest()[:32]
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.pkl"
+
+    def get(self, kind: str, key: str):
+        """Load a cached artifact, or None on miss/corruption."""
+        path = self._path(kind, key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated/stale entry (e.g. an interrupted writer on a
+            # filesystem without atomic rename): treat as a miss.
+            return None
+
+    def put(self, kind: str, key: str, obj) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def memo(self, kind: str, key: str, compute):
+        """Return the cached artifact for ``key``, computing on miss."""
+        obj = self.get(kind, key)
+        if obj is None:
+            obj = compute()
+            self.put(kind, key, obj)
+        return obj

@@ -53,9 +53,11 @@ class Figure6:
 
 
 def build_figure6(workload_names: tuple[str, ...] | None = None,
-                  use_cache: bool = True, progress=None) -> Figure6:
+                  use_cache: bool = True, progress=None,
+                  jobs: int = 1) -> Figure6:
     names = workload_names or tuple(WORKLOADS)
-    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress)
+    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress,
+                  jobs=jobs)
     fig = Figure6(names)
     baseline = {n: cells[(n, "gcc12", "3")].native_cycles for n in names}
     for label, (compiler, opt), kind in SERIES:

@@ -62,10 +62,12 @@ class Figure7:
 
 
 def build_figure7(workload_names: tuple[str, ...] | None = None,
-                  use_cache: bool = True, progress=None) -> Figure7:
+                  use_cache: bool = True, progress=None,
+                  jobs: int = 1) -> Figure7:
     names = workload_names or tuple(WORKLOADS)
     cells = sweep(names, (ACCURACY_CONFIG,), use_cache=use_cache,
-                  include_secondwrite=False, progress=progress)
+                  include_secondwrite=False, progress=progress,
+                  jobs=jobs)
     fig = Figure7(names)
     for name in names:
         cell = cells[(name, *ACCURACY_CONFIG)]

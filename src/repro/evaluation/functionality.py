@@ -45,9 +45,11 @@ class FunctionalityMatrix:
 
 def build_functionality(workload_names: tuple[str, ...] | None = None,
                         use_cache: bool = True,
-                        progress=None) -> FunctionalityMatrix:
+                        progress=None,
+                        jobs: int = 1) -> FunctionalityMatrix:
     names = workload_names or tuple(WORKLOADS)
-    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress)
+    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress,
+                  jobs=jobs)
     matrix = FunctionalityMatrix(names, CONFIGS)
     for name in names:
         for compiler, opt in CONFIGS:

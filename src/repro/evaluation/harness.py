@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -27,8 +28,10 @@ from ..baselines.secondwrite import SecondWriteError, \
     secondwrite_recompile
 from ..core.driver import wytiwyg_recompile
 from ..emu.machine import run_binary
+from ..emu.tracer import trace_binary
 from ..errors import ReproError
 from ..workloads import WORKLOADS, Workload
+from .cache import EvalCache
 
 #: The input-binary configurations of Table 1, in column order.
 CONFIGS = (
@@ -126,14 +129,38 @@ def measure_cell(workload: Workload, compiler: str, opt_level: str,
     result.native_cycles = _total_cycles(image, inputs)
     stripped = image.stripped()
 
+    # Artifact cache: traces and recompiled binaries are content-keyed,
+    # so both pipelines share one trace of the stripped binary and a
+    # re-run after an unrelated change skips the lifts entirely.
+    ecache = EvalCache() if use_cache else None
+
+    def traced(img):
+        if ecache is None:
+            return trace_binary(img, inputs)
+        return ecache.memo("traces", ecache.key(img, inputs, "traces"),
+                           lambda: trace_binary(img, inputs))
+
     # BinRec: lifted, optimized, not symbolized.
-    binrec = binrec_recompile(stripped, inputs)
+    if ecache is None:
+        binrec = binrec_recompile(stripped, inputs,
+                                  traces=traced(stripped))
+    else:
+        binrec = ecache.memo(
+            "binrec", ecache.key(stripped, inputs, "binrec"),
+            lambda: binrec_recompile(stripped, inputs,
+                                     traces=traced(stripped)))
     result.binrec_cycles = _total_cycles(binrec, inputs)
     result.binrec_match = _outputs_match(image, binrec, inputs)
 
     # WYTIWYG: full refinement lifting (ground truth read only by the
     # accuracy evaluation, never by the pipeline).
-    wyt = wytiwyg_recompile(image, inputs)
+    if ecache is None:
+        wyt = wytiwyg_recompile(image, inputs, traces=traced(image))
+    else:
+        wyt = ecache.memo(
+            "wytiwyg", ecache.key(image, inputs, "wytiwyg"),
+            lambda: wytiwyg_recompile(image, inputs,
+                                      traces=traced(image)))
     result.wytiwyg_cycles = _total_cycles(wyt.recovered, inputs)
     result.wytiwyg_match = _outputs_match(image, wyt.recovered, inputs)
     result.wytiwyg_fallback = wyt.fallback
@@ -154,25 +181,54 @@ def measure_cell(workload: Workload, compiler: str, opt_level: str,
             result.secondwrite_error = f"{type(exc).__name__}: {exc}"
 
     if use_cache:
-        cache_file.write_text(json.dumps(asdict(result)))
+        tmp = cache_file.with_name(f".{cache_file.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(asdict(result)))
+        tmp.replace(cache_file)  # atomic: parallel workers share the dir
     return result
+
+
+def _measure_cell_task(task):
+    """Worker entry point for the parallel sweep (picklable by name)."""
+    name, compiler, opt_level, use_cache, include_secondwrite = task
+    result = measure_cell(WORKLOADS[name], compiler, opt_level,
+                          use_cache, include_secondwrite)
+    return (name, compiler, opt_level), result
 
 
 def sweep(workload_names: tuple[str, ...] | None = None,
           configs=CONFIGS, use_cache: bool = True,
           include_secondwrite: bool = True,
-          progress=None) -> dict[tuple[str, str, str], CellResult]:
-    """Measure a grid of cells; returns {(workload, compiler, opt): ...}."""
+          progress=None,
+          jobs: int = 1) -> dict[tuple[str, str, str], CellResult]:
+    """Measure a grid of cells; returns {(workload, compiler, opt): ...}.
+
+    With ``jobs > 1`` cells are fanned out over a process pool — every
+    cell is independent, and the on-disk caches use atomic writes, so
+    workers never conflict.  ``progress`` then reports cells as they
+    *complete* rather than as they start.
+    """
     names = workload_names or tuple(WORKLOADS)
+    tasks = [(name, compiler, opt_level)
+             for name in names for compiler, opt_level in configs]
     out: dict[tuple[str, str, str], CellResult] = {}
-    for name in names:
-        workload = WORKLOADS[name]
-        for compiler, opt_level in configs:
-            if progress is not None:
-                progress(name, compiler, opt_level)
-            out[(name, compiler, opt_level)] = measure_cell(
-                workload, compiler, opt_level, use_cache,
-                include_secondwrite)
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_measure_cell_task,
+                            (*task, use_cache, include_secondwrite))
+                for task in tasks]
+            for future in as_completed(futures):
+                key, result = future.result()
+                if progress is not None:
+                    progress(*key)
+                out[key] = result
+        return out
+    for name, compiler, opt_level in tasks:
+        if progress is not None:
+            progress(name, compiler, opt_level)
+        out[(name, compiler, opt_level)] = measure_cell(
+            WORKLOADS[name], compiler, opt_level, use_cache,
+            include_secondwrite)
     return out
 
 

@@ -99,7 +99,9 @@ class Table1:
 
 
 def build_table1(workload_names: tuple[str, ...] | None = None,
-                 use_cache: bool = True, progress=None) -> Table1:
+                 use_cache: bool = True, progress=None,
+                 jobs: int = 1) -> Table1:
     names = workload_names or tuple(WORKLOADS)
-    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress)
+    cells = sweep(names, CONFIGS, use_cache=use_cache, progress=progress,
+                  jobs=jobs)
     return Table1(CONFIGS, names, cells)

@@ -81,11 +81,15 @@ class Block:
             raise IRError(f"appending past terminator in {self.name}")
         instr.block = self
         self.instrs.append(instr)
+        if self.function is not None:
+            self.function.version += 1
         return instr
 
     def insert(self, index: int, instr: Instr) -> Instr:
         instr.block = self
         self.instrs.insert(index, instr)
+        if self.function is not None:
+            self.function.version += 1
         return instr
 
     def phis(self) -> list[Phi]:
@@ -118,6 +122,15 @@ class Function:
         self.orig_entry: int | None = None
         #: Free-form analysis annotations (refinements stash results here).
         self.meta: dict = {}
+        #: Mutation counter consulted by the interpreter's per-block
+        #: compiled-code cache.  Bumped by :meth:`Block.append` /
+        #: :meth:`Block.insert`; passes that splice ``block.instrs``
+        #: directly must call :meth:`invalidate`.
+        self.version = 0
+
+    def invalidate(self) -> None:
+        """Signal that instruction lists changed behind the builder API."""
+        self.version += 1
 
     @property
     def entry(self) -> Block:

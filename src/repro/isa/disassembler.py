@@ -14,6 +14,12 @@ from ..errors import EncodingError
 from . import encoding
 from .instructions import Instruction
 
+#: Mnemonics that end a basic block: everything after them depends on
+#: dynamic control flow.  ``call`` terminates blocks too — import calls
+#: fall through, but internal calls transfer, and keeping the boundary
+#: uniform keeps block-level trace accounting exact.
+BLOCK_TERMINATORS = frozenset({"jmp", "jcc", "call", "ret", "hlt"})
+
 
 class Disassembler:
     """Caching instruction decoder over a binary image's text section."""
@@ -22,6 +28,7 @@ class Disassembler:
         self._image = image
         self._text = image.text
         self._cache: dict[int, Instruction] = {}
+        self._blocks: dict[int, tuple[Instruction, ...]] = {}
 
     def at(self, addr: int) -> Instruction:
         """Decode (with caching) the instruction at virtual address."""
@@ -36,6 +43,29 @@ class Disassembler:
         instr.addr = addr
         self._cache[addr] = instr
         return instr
+
+    def basic_block(self, addr: int) -> tuple[Instruction, ...]:
+        """Decode (with caching) the basic block starting at ``addr``.
+
+        The block is the straight-line run of instructions from ``addr``
+        up to and including the first control-flow instruction.  Within a
+        block, execution is linear, so the whole tuple can be decoded once
+        and replayed without further address lookups.
+        """
+        cached = self._blocks.get(addr)
+        if cached is not None:
+            return cached
+        instrs: list[Instruction] = []
+        cursor = addr
+        while True:
+            instr = self.at(cursor)
+            instrs.append(instr)
+            if instr.mnemonic in BLOCK_TERMINATORS:
+                break
+            cursor += instr.size
+        block = tuple(instrs)
+        self._blocks[addr] = block
+        return block
 
     def linear(self) -> list[Instruction]:
         """Linear sweep of the whole text section."""

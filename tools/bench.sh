@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run the wall-time benchmark suite and emit a machine-readable report.
+#
+# Usage:
+#   tools/bench.sh                 # engine benches -> BENCH_engine.json
+#   tools/bench.sh benchmarks      # every bench (pipeline + eval + engine)
+#   REPRO_FULL_EVAL=1 tools/bench.sh benchmarks   # full ten-workload sweep
+#
+# The JSON includes each bench's extra_info (speedup ratios of the
+# cached-block machine and compiled IR interpreter over their per-step
+# reference paths), so a CI job can diff it against a saved baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-benchmarks/test_engine.py benchmarks/test_pipeline_costs.py}"
+OUT="${BENCH_JSON:-BENCH_engine.json}"
+
+# shellcheck disable=SC2086  # TARGET is intentionally word-split
+PYTHONPATH=src python -m pytest $TARGET \
+    --benchmark-only \
+    --benchmark-json "$OUT" \
+    -p no:cacheprovider
+
+echo "benchmark report written to $OUT"
