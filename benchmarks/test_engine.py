@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.cc import compile_source
 from repro.core.driver import wytiwyg_lift
 from repro.emu import trace_binary
@@ -76,3 +77,20 @@ def test_bench_interp_reference(benchmark, traces):
     run_items = traces.inputs[0]
     benchmark(
         lambda: Interpreter(module, run_items, compiled=False).run())
+
+
+def test_block_cache_hit_rate(image):
+    """The superblock cache must serve >= 90% of dispatches on the bench
+    workload — its loops re-enter the same compiled blocks, so anything
+    lower means the cache is being dropped or bypassed."""
+    stripped = image.stripped()  # fresh image -> cold block cache
+    obs.enable(reset=True)
+    try:
+        trace_binary(stripped, [[]])
+        counters = obs.recorder().registry.counters
+        hits = counters.get("emu.block_cache.hit", 0)
+        misses = counters.get("emu.block_cache.miss", 0)
+    finally:
+        obs.disable()
+    assert hits + misses > 0
+    assert hits / (hits + misses) >= 0.90

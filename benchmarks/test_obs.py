@@ -1,0 +1,94 @@
+"""Observability benches: pipeline stage timings under repro.obs and
+the cost of the instrumentation when it is switched off.
+
+Runs as the second ``tools/bench.sh`` pass (``-m obs``) and lands in
+``BENCH_obs.json``: each bench's ``extra_info`` carries the per-stage
+wall times, the emulator's cache hit rates, and the enabled-vs-disabled
+overhead ratio, so a CI job can diff a run against a saved baseline.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.cc import compile_source
+from repro.core.driver import wytiwyg_recompile
+from repro.emu import trace_binary
+
+pytestmark = pytest.mark.obs
+
+SOURCE = r"""
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 30; i++) acc += fib(9) & 7;
+    printf("acc=%d\n", acc);
+    return 0;
+}
+"""
+
+STAGES = ("trace", "lift", "varargs", "regsave", "canonicalize",
+          "bounds", "optimize", "recompile")
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_source(SOURCE, "gcc12", "3", "obs_bench")
+
+
+def _median_seconds(fn, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_bench_recompile_observed(benchmark, image):
+    """Full WYTIWYG recompile with observability on; per-stage wall
+    times and emulator cache rates land in extra_info."""
+    def run():
+        obs.enable(reset=True)
+        wytiwyg_recompile(image, [[]])
+        return obs.export(obs.recorder())
+
+    try:
+        doc = benchmark(run)
+    finally:
+        obs.disable()
+
+    stages = {s["name"][len("stage."):]: s["seconds"]
+              for s in obs.iter_spans(doc)
+              if s["name"].startswith("stage.")}
+    assert set(stages) == set(STAGES)
+    benchmark.extra_info["stage_seconds"] = stages
+
+    counters = doc["metrics"]["counters"]
+    hits = counters.get("emu.block_cache.hit", 0)
+    misses = counters.get("emu.block_cache.miss", 0)
+    benchmark.extra_info["block_cache_hit_rate"] = \
+        hits / (hits + misses) if hits + misses else None
+    benchmark.extra_info["instructions_retired"] = \
+        counters.get("emu.instructions_retired", 0)
+
+
+def test_bench_trace_disabled_overhead(benchmark, image):
+    """Trace with observability *off* (the tier-1 configuration); the
+    enabled-path cost lands in extra_info as an overhead ratio."""
+    stripped = image.stripped()
+    obs.enable(reset=True)
+    try:
+        enabled_median = _median_seconds(
+            lambda: trace_binary(stripped, [[]]))
+    finally:
+        obs.disable()
+
+    benchmark(lambda: trace_binary(stripped, [[]]))
+    disabled_median = benchmark.stats.stats.median
+    benchmark.extra_info["enabled_seconds"] = enabled_median
+    benchmark.extra_info["observed_overhead"] = \
+        enabled_median / disabled_median - 1.0

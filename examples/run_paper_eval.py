@@ -11,6 +11,11 @@ Usage:
 Results (and intermediate traces/lifts) are cached in .eval_cache/.
 Cells are independent, so ``--jobs N`` fans the first sweep out over a
 process pool; later figures reuse its cached cells.
+
+``--obs-out report.json`` (or ``REPRO_OBS=1``) activates repro.obs: the
+sweep aggregates per-cell timings, pipeline stage spans, and cache hit
+rates across every worker, prints a summary to stderr, and ``--obs-out``
+writes the full JSON report.
 """
 
 import argparse
@@ -20,6 +25,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.evaluation import (
     QUICK_WORKLOADS,
     build_figure6,
@@ -39,10 +45,15 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=0, metavar="N",
                         help="measure N cells in parallel "
                              "(0 = all cores)")
+    parser.add_argument("--obs-out", metavar="PATH", default=None,
+                        help="enable observability and write the JSON "
+                             "report here (summary also goes to stderr)")
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    if args.obs_out:
+        obs.enable()
 
     if args.fresh:
         shutil.rmtree(".eval_cache", ignore_errors=True)
@@ -78,6 +89,15 @@ def main(argv=None) -> int:
     print(f"\ndone in {time.time() - started:.0f}s "
           f"({'full' if args.full else 'quick'} sweep; cache in "
           f"{Path('.eval_cache').resolve()})")
+
+    rec = obs.recorder()
+    if rec is not None:
+        doc = obs.export(rec)
+        if args.obs_out:
+            obs.write_json(rec, args.obs_out)
+            print(f"observability report written to {args.obs_out}",
+                  file=sys.stderr)
+        print(obs.summary(doc), file=sys.stderr)
     return 0
 
 

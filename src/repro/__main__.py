@@ -11,6 +11,11 @@ Commands mirror the toolchain a downstream user needs:
 
 Inputs are passed as ``--input int:N bytes:TEXT ...``; a ``/`` item
 separates multiple runs (e.g. ``--input int:1 / int:2``).
+
+Observability: ``--obs-out report.json`` (or ``REPRO_OBS=1`` in the
+environment) activates :mod:`repro.obs` — the command then prints a
+per-stage summary table to stderr, and ``--obs-out`` additionally
+writes the full JSON report.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from . import obs
 from .baselines import binrec_recompile, secondwrite_recompile
 from .binary import BinaryImage
 from .cc import compile_source
@@ -72,6 +78,10 @@ def cmd_recompile(args) -> int:
             print(f"  {note}")
         if result.fallback:
             print("  (fell back to the unsymbolized pipeline)")
+        if result.accuracy is not None:
+            acc = result.accuracy
+            print(f"  accuracy vs ground truth: "
+                  f"P={acc.precision:.0%} R={acc.recall:.0%}")
     elif args.pipeline == "binrec":
         recovered = binrec_recompile(image.stripped(), runs)
     else:
@@ -106,6 +116,10 @@ def cmd_eval(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--obs-out", metavar="PATH", default=None,
+        help="enable observability and write the JSON report here "
+             "(a per-stage summary also goes to stderr)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile MiniC to a binary image")
@@ -139,7 +153,18 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=cmd_eval)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.obs_out:
+        obs.enable()
+    status = args.func(args)
+    rec = obs.recorder()
+    if rec is not None:
+        doc = obs.export(rec)
+        if args.obs_out:
+            obs.write_json(rec, args.obs_out)
+            print(f"observability report written to {args.obs_out}",
+                  file=sys.stderr)
+        print(obs.summary(doc), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

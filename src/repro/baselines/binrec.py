@@ -7,6 +7,7 @@ is exactly what limits the optimizer (paper §2.1).
 
 from __future__ import annotations
 
+from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet, trace_binary
 from ..ir.module import Module
@@ -19,12 +20,25 @@ from ..recompile.lower import LowerOptions
 
 def binrec_lift(traces: TraceSet, optimize: bool = True) -> Module:
     """Lift merged traces and run the standard optimization pipeline."""
-    module = lift_traces(traces)
-    verify_module(module)
-    if optimize:
-        optimize_module(module, OptOptions(level=2, inline=True,
-                                           inline_threshold=30, rounds=2))
+    from ..core.driver import module_stats
+    observing = obs.enabled()
+    with obs.span("stage.lift", pipeline="binrec") as sp:
+        module = lift_traces(traces)
         verify_module(module)
+        if observing:
+            sp.set(ir_before={"functions": 0, "blocks": 0, "instrs": 0},
+                   ir_after=module_stats(module), verified=True)
+    with obs.span("stage.optimize", pipeline="binrec",
+                  enabled=optimize) as sp:
+        before = module_stats(module) if observing else None
+        if optimize:
+            optimize_module(module,
+                            OptOptions(level=2, inline=True,
+                                       inline_threshold=30, rounds=2))
+            verify_module(module)
+        if before is not None:
+            sp.set(ir_before=before, ir_after=module_stats(module),
+                   verified=optimize)
     module.metadata["pipeline"] = "binrec"
     return module
 
@@ -38,9 +52,14 @@ def binrec_recompile(image: BinaryImage,
     Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
     an existing or cached trace instead of re-executing the binary.
     """
-    if traces is None:
-        traces = trace_binary(image, inputs)
-    module = binrec_lift(traces, optimize)
-    return recompile_ir(
-        module, LowerOptions(frame_pointer=False),
-        metadata={**image.metadata, "pipeline": "binrec"})
+    with obs.span("pipeline.binrec"):
+        with obs.span("stage.trace", pipeline="binrec",
+                      cached=traces is not None):
+            if traces is None:
+                traces = trace_binary(image, inputs)
+        module = binrec_lift(traces, optimize)
+        with obs.span("stage.recompile", pipeline="binrec"):
+            recovered = recompile_ir(
+                module, LowerOptions(frame_pointer=False),
+                metadata={**image.metadata, "pipeline": "binrec"})
+    return recovered

@@ -22,12 +22,21 @@ Every dynamic stage executes the *lifted IR itself* on the same inputs,
 so each refinement consumes exactly the semantics the previous one
 produced — the "what you trace is what you get" guarantee for traced
 inputs.
+
+Observability: with :mod:`repro.obs` enabled every stage above runs
+inside a named span (``stage.trace`` ... ``stage.recompile``) recording
+wall time, the module's function/block/instruction counts before and
+after, and verifier status; the enclosing ``pipeline.wytiwyg`` span
+additionally carries the layout-accuracy precision/recall whenever the
+input image ships ground truth, so a single recompile run reports the
+paper's Figure-7 quality numbers without the evaluation harness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet, trace_binary
 from ..errors import SymbolizeError
@@ -67,6 +76,17 @@ class WytiwygResult:
     #: True if the refined module fell back to the unsymbolized pipeline.
     fallback: bool = False
     notes: list[str] = field(default_factory=list)
+
+
+def module_stats(module: Module) -> dict[str, int]:
+    """IR size snapshot attached to stage spans (before/after deltas)."""
+    return {
+        "functions": len(module.functions),
+        "blocks": sum(len(f.blocks) for f in module.functions.values()),
+        "instrs": sum(len(b.instrs)
+                      for f in module.functions.values()
+                      for b in f.blocks),
+    }
 
 
 def _canonicalize(module: Module) -> None:
@@ -113,61 +133,94 @@ def wytiwyg_lift(traces: TraceSet,
     best-effort instead of trapping.
     """
     notes: list[str] = []
-    module = lift_traces(traces, "wytiwyg", static_extend=hybrid)
-    verify_module(module)
+    observing = obs.enabled()
+    with obs.span("stage.lift", hybrid=hybrid) as sp:
+        module = lift_traces(traces, "wytiwyg", static_extend=hybrid)
+        verify_module(module)
+        if observing:
+            sp.set(ir_before={"functions": 0, "blocks": 0, "instrs": 0},
+                   ir_after=module_stats(module), verified=True,
+                   transfers=len(traces.transfers),
+                   coverage=len(traces.executed),
+                   inputs=len(traces.inputs))
     if hybrid:
         notes.append("hybrid: static coverage extension enabled")
 
     # Refinement: variadic external calls (§5.2).
-    nsites = recover_vararg_calls(module, traces.inputs)
-    if nsites:
-        notes.append(f"varargs: recovered {nsites} call sites")
-    verify_module(module)
-    if validate and not _validate(module, traces):
-        raise SymbolizeError("varargs refinement broke functionality")
+    with obs.span("stage.varargs") as sp:
+        before = module_stats(module) if observing else None
+        nsites = recover_vararg_calls(module, traces.inputs)
+        if nsites:
+            notes.append(f"varargs: recovered {nsites} call sites")
+        verify_module(module)
+        if before is not None:
+            sp.set(ir_before=before, ir_after=module_stats(module),
+                   verified=True, call_sites=nsites)
+        if validate and not _validate(module, traces):
+            raise SymbolizeError("varargs refinement broke functionality")
 
     # Refinement: register save/argument classification (§4.1).
-    classification = classify_registers(module, traces.inputs,
-                                        static_augment=hybrid)
-    apply_register_classification(module, classification)
-    verify_module(module)
-    if validate and not _validate(module, traces):
-        raise SymbolizeError("register refinement broke functionality")
+    with obs.span("stage.regsave") as sp:
+        before = module_stats(module) if observing else None
+        classification = classify_registers(module, traces.inputs,
+                                            static_augment=hybrid)
+        apply_register_classification(module, classification)
+        verify_module(module)
+        if before is not None:
+            sp.set(ir_before=before, ir_after=module_stats(module),
+                   verified=True,
+                   classified=len(classification.args),
+                   indirect_targets=len(
+                       classification.indirect_targets))
+        if validate and not _validate(module, traces):
+            raise SymbolizeError(
+                "register refinement broke functionality")
     notes.append(
         f"regsave: {len(classification.args)} functions classified, "
         f"{len(classification.indirect_targets)} indirect targets")
 
     # Canonicalize and identify direct stack references.
-    _canonicalize(module)
-    refs = fold_module_stack_refs(module)
+    with obs.span("stage.canonicalize") as sp:
+        before = module_stats(module) if observing else None
+        _canonicalize(module)
+        refs = fold_module_stack_refs(module)
+        if before is not None:
+            sp.set(ir_before=before, ir_after=module_stats(module),
+                   stack_refs=sum(len(r) for r in refs.values()))
     notes.append(
         "sp0fold: "
         f"{sum(len(r) for r in refs.values())} direct stack references")
 
     # Refinement: object bounds recovery (§4.2).
-    mi = instrument_module(module)
-    runtime = TracingRuntime()
-    for input_items in traces.inputs:
-        interp = Interpreter(module, input_items,
-                             intrinsic_handler=runtime.handle)
-        runtime.bind(interp)
-        interp.run()
-    strip_probes(module)
-    verify_module(module)
+    with obs.span("stage.bounds") as sp:
+        before = module_stats(module) if observing else None
+        mi = instrument_module(module)
+        runtime = TracingRuntime()
+        for input_items in traces.inputs:
+            interp = Interpreter(module, input_items,
+                                 intrinsic_handler=runtime.handle)
+            runtime.bind(interp)
+            interp.run()
+        strip_probes(module)
+        verify_module(module)
 
-    layouts = build_layouts(runtime, mi)
-    plan = build_signatures(runtime, mi, module)
-    replace_base_pointers(module, mi, layouts, plan, runtime)
-    for func in module.functions.values():
-        eliminate_dead_code(func)
-    drop_sp_threading(module)
-    for func in module.functions.values():
-        eliminate_dead_code(func)
-    shrink_signatures(module)
-    verify_module(module)
-    if validate and not _validate(module, traces):
-        raise SymbolizeError("stack symbolization broke functionality")
-    nvars = sum(len(lo.variables) for lo in layouts.values())
+        layouts = build_layouts(runtime, mi)
+        plan = build_signatures(runtime, mi, module)
+        replace_base_pointers(module, mi, layouts, plan, runtime)
+        for func in module.functions.values():
+            eliminate_dead_code(func)
+        drop_sp_threading(module)
+        for func in module.functions.values():
+            eliminate_dead_code(func)
+        shrink_signatures(module)
+        verify_module(module)
+        nvars = sum(len(lo.variables) for lo in layouts.values())
+        if before is not None:
+            sp.set(ir_before=before, ir_after=module_stats(module),
+                   verified=True, stack_variables=nvars,
+                   stack_args=sum(plan.stack_args.values()))
+        if validate and not _validate(module, traces):
+            raise SymbolizeError("stack symbolization broke functionality")
     notes.append(f"symbolize: {nvars} stack variables, "
                  f"{sum(plan.stack_args.values())} stack args")
     module.metadata["pipeline"] = "wytiwyg"
@@ -188,31 +241,56 @@ def wytiwyg_recompile(image: BinaryImage,
     Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
     an existing or cached trace instead of re-executing the binary.
     """
-    if traces is None:
-        traces = trace_binary(image, inputs)
-    try:
-        module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid)
-        fallback = False
-    except SymbolizeError as exc:
-        if not allow_fallback:
-            raise
-        from ..baselines.binrec import binrec_lift
-        module = binrec_lift(traces, optimize=False)
-        layouts = {}
-        notes = [f"fallback to unsymbolized pipeline: {exc}"]
-        fallback = True
+    observing = obs.enabled()
+    with obs.span("pipeline.wytiwyg", hybrid=hybrid) as pipeline_span:
+        with obs.span("stage.trace", cached=traces is not None) as sp:
+            if traces is None:
+                traces = trace_binary(image, inputs)
+            if observing:
+                sp.set(inputs=len(traces.inputs),
+                       transfers=len(traces.transfers),
+                       coverage=len(traces.executed))
+        try:
+            module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid)
+            fallback = False
+        except SymbolizeError as exc:
+            if not allow_fallback:
+                raise
+            from ..baselines.binrec import binrec_lift
+            module = binrec_lift(traces, optimize=False)
+            layouts = {}
+            notes = [f"fallback to unsymbolized pipeline: {exc}"]
+            fallback = True
 
-    if optimize:
-        optimize_module(module, OptOptions.o3())
-        verify_module(module)
+        with obs.span("stage.optimize", enabled=optimize) as sp:
+            before = module_stats(module) if observing else None
+            if optimize:
+                optimize_module(module, OptOptions.o3())
+                verify_module(module)
+            if before is not None:
+                sp.set(ir_before=before, ir_after=module_stats(module),
+                       verified=optimize)
 
-    recovered = recompile_ir(
-        module, LowerOptions(frame_pointer=False),
-        metadata={**image.metadata, "pipeline": module.metadata.get(
-            "pipeline", "wytiwyg")})
+        with obs.span("stage.recompile") as sp:
+            recovered = recompile_ir(
+                module, LowerOptions(frame_pointer=False),
+                metadata={**image.metadata,
+                          "pipeline": module.metadata.get(
+                              "pipeline", "wytiwyg")})
+            if observing:
+                sp.set(ir_before=module_stats(module),
+                       ir_after=module_stats(module),
+                       text_bytes=len(recovered.text.data))
 
-    accuracy = None
-    if collect_accuracy and not fallback and image.ground_truth:
-        accuracy = evaluate_accuracy(image, layouts)
+        accuracy = None
+        if collect_accuracy and not fallback and image.ground_truth:
+            accuracy = evaluate_accuracy(image, layouts)
+        if observing:
+            pipeline_span.set(fallback=fallback, notes=list(notes))
+            if accuracy is not None:
+                pipeline_span.set(
+                    accuracy_precision=accuracy.precision,
+                    accuracy_recall=accuracy.recall,
+                    accuracy_counts=dict(accuracy.counts))
     return WytiwygResult(module, recovered, layouts, accuracy,
                          fallback, notes)

@@ -31,6 +31,7 @@ from typing import Callable
 
 from ..errors import EmulationError
 from ..isa.disassembler import Disassembler
+from ..obs import count as _obs_count
 from ..isa.instructions import Imm, ImportRef, Instruction, Mem
 from ..isa.registers import Reg
 from .costs import CostModel
@@ -716,6 +717,7 @@ class BlockCache:
         return block
 
     def _build(self, addr: int) -> SuperBlock:
+        _obs_count("emu.block_cache.compiled_blocks")
         instrs = self.disasm.basic_block(addr)
         costs = self.costs
         code = []
@@ -740,6 +742,14 @@ class BlockCache:
 _SHARED: dict[int, dict[CostModel, "BlockCache"]] = {}
 
 
+def _drop_shared_entry(key: int) -> None:
+    """Finalizer for a collected image: evict its compiled blocks."""
+    per_image = _SHARED.pop(key, None)
+    if per_image:
+        dropped = sum(len(c._blocks) for c in per_image.values())
+        _obs_count("emu.block_cache.evictions", dropped)
+
+
 def shared_block_cache(image, costs: CostModel,
                        handlers: dict[str, Callable]) -> BlockCache:
     """The process-wide block cache for ``image`` under ``costs``.
@@ -754,7 +764,7 @@ def shared_block_cache(image, costs: CostModel,
     if per_image is None:
         per_image = {}
         _SHARED[key] = per_image
-        weakref.finalize(image, _SHARED.pop, key, None)
+        weakref.finalize(image, _drop_shared_entry, key)
     cache = per_image.get(costs)
     if cache is None:
         cache = BlockCache(Disassembler(image), costs, handlers)

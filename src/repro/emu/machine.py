@@ -20,11 +20,12 @@ from ..errors import EmulationError
 from ..isa.disassembler import Disassembler
 from ..isa.instructions import Imm, ImportRef, Instruction, Mem
 from ..isa.registers import ESP, Reg
+from ..obs import recorder as _obs_recorder
 from .blocks import EXIT_SENTINEL, BlockCache, shared_block_cache
 from .cpu import CPU, MASK32, signed32
 from .costs import DEFAULT_COSTS, CostModel
 from .libc import ExitProgram, LibC, StackArgs
-from .memory import Memory
+from .memory import Memory, make_memory
 
 __all__ = ["ControlSink", "EXIT_SENTINEL", "Machine", "RunResult",
            "run_binary"]
@@ -72,7 +73,7 @@ class Machine:
     blocks: BlockCache | None = None
 
     def __post_init__(self) -> None:
-        self.mem = Memory()
+        self.mem = make_memory()
         self.mem.load_image(self.image)
         self.cpu = CPU()
         self.libc = LibC(self.mem, self.input_items)
@@ -132,13 +133,25 @@ class Machine:
         self.cpu.eip = self.image.entry
         self.cpu.set(ESP, STACK_TOP - 4)
         self.mem.write(STACK_TOP - 4, 4, EXIT_SENTINEL)
+        rec = _obs_recorder()
         try:
             if self.use_blocks:
-                self._run_blocks()
+                if rec is not None:
+                    self._run_blocks_observed(rec)
+                else:
+                    self._run_blocks()
             else:
                 self._run_steps()
         except ExitProgram as exc:
             self._halted = exc.code
+        if rec is not None:
+            registry = rec.registry
+            registry.count("emu.runs")
+            registry.count("emu.instructions_retired", self.instructions)
+            registry.count("emu.cycles", self.cycles)
+            if self.blocks is not None:
+                registry.gauge("emu.block_cache.size",
+                               len(self.blocks._blocks))
         return RunResult(self._halted, bytes(self.libc.stdout),
                          self.cycles, self.instructions)
 
@@ -170,6 +183,46 @@ class Machine:
             if self.instructions >= budget:
                 raise EmulationError(
                     f"instruction budget exceeded ({budget})")
+
+    def _run_blocks_observed(self, rec) -> None:
+        """The superblock loop with observability: identical semantics
+        to :meth:`_run_blocks` plus block-cache hit/miss accounting and
+        the hot-block execution profile.  Selected only when a recorder
+        is active, so the disabled path stays untouched."""
+        blocks = self.blocks
+        block_map = blocks._blocks
+        block_at = blocks.block_at
+        hot = rec.registry.profile("emu.hot_blocks").counts
+        cpu = self.cpu
+        sink = self.trace_sink
+        seen: set[int] = set()
+        budget = self.max_instructions
+        hits = misses = 0
+        try:
+            while self._halted is None:
+                addr = cpu.eip
+                if addr in block_map:
+                    hits += 1
+                else:
+                    misses += 1
+                block = block_at(addr)
+                hot[addr] = hot.get(addr, 0) + 1
+                if sink is not None and addr not in seen:
+                    seen.add(addr)
+                    executed = sink.executed
+                    for a in block.addrs:
+                        executed(a)
+                self.instructions += block.count
+                self.cycles += block.cost
+                for op in block.code:
+                    op(self)
+                if self.instructions >= budget:
+                    raise EmulationError(
+                        f"instruction budget exceeded ({budget})")
+        finally:
+            registry = rec.registry
+            registry.count("emu.block_cache.hit", hits)
+            registry.count("emu.block_cache.miss", misses)
 
     def _run_steps(self) -> None:
         """Reference per-step loop (seed semantics, kept for differential

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..binary.image import BinaryImage
 from ..errors import EmulationError
+from ..obs import recorder as _obs_recorder
 
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
@@ -156,3 +157,44 @@ class Memory:
     def load_image(self, image: BinaryImage) -> None:
         for section in image.sections:
             self.write_bytes(section.base, section.data)
+
+
+class InstrumentedMemory(Memory):
+    """Memory that classifies every scalar access as fast-path (within
+    one page, the specialized assembly-by-hand branch) or slow-path
+    (page-crossing fallback) into the observability counters.
+
+    Behaviour is bit-identical to :class:`Memory` — it only counts, then
+    delegates — so swapping it in cannot perturb an execution.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: dict) -> None:
+        super().__init__()
+        self._counters = counters
+
+    def read(self, addr: int, size: int) -> int:
+        counters = self._counters
+        key = "emu.mem.fast_path" \
+            if (addr & PAGE_MASK) + size <= PAGE_SIZE else \
+            "emu.mem.slow_path"
+        counters[key] = counters.get(key, 0) + 1
+        return Memory.read(self, addr, size)
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        counters = self._counters
+        key = "emu.mem.fast_path" \
+            if (addr & PAGE_MASK) + size <= PAGE_SIZE else \
+            "emu.mem.slow_path"
+        counters[key] = counters.get(key, 0) + 1
+        Memory.write(self, addr, size, value)
+
+
+def make_memory() -> Memory:
+    """A Memory for one execution: plain when observability is off (the
+    zero-overhead default), counting when a recorder is active."""
+    rec = _obs_recorder()
+    if rec is None:
+        return Memory()
+    return InstrumentedMemory(rec.registry.counters)

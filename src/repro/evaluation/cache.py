@@ -16,11 +16,15 @@ share between the parallel sweep's worker processes.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from pathlib import Path
 
+from .. import obs
 from ..binary.image import BinaryImage
+
+log = logging.getLogger("repro.evaluation.cache")
 
 #: Bump to orphan every existing entry after a format change.
 _FORMAT = "v1"
@@ -48,17 +52,30 @@ class EvalCache:
         return self.root / kind / f"{key}.pkl"
 
     def get(self, kind: str, key: str):
-        """Load a cached artifact, or None on miss/corruption."""
+        """Load a cached artifact, or None on miss/corruption.
+
+        Corruption (a truncated or ununpicklable entry, e.g. from an
+        interrupted writer on a filesystem without atomic rename) falls
+        through to recompute like a miss, but is reported: a structured
+        warning naming the entry, plus the ``evalcache.corrupt``
+        counter, so it never hides as an ordinary miss.
+        """
         path = self._path(kind, key)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                obj = pickle.load(fh)
         except FileNotFoundError:
+            obs.count("evalcache.miss")
             return None
-        except Exception:
-            # Truncated/stale entry (e.g. an interrupted writer on a
-            # filesystem without atomic rename): treat as a miss.
+        except Exception as exc:
+            log.warning(
+                "corrupt eval-cache entry kind=%s key=%s path=%s "
+                "error=%s: %s — recomputing",
+                kind, key, path, type(exc).__name__, exc)
+            obs.count("evalcache.corrupt")
             return None
+        obs.count("evalcache.hit")
+        return obj
 
     def put(self, kind: str, key: str, obj) -> None:
         path = self._path(kind, key)

@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from .. import obs
 from ..baselines.binrec import binrec_recompile
 from ..baselines.secondwrite import SecondWriteError, \
     secondwrite_recompile
@@ -116,12 +117,32 @@ def _outputs_match(image_a, image_b, inputs,
 def measure_cell(workload: Workload, compiler: str, opt_level: str,
                  use_cache: bool = True,
                  include_secondwrite: bool = True) -> CellResult:
-    """Measure one Table-1 cell (with on-disk caching)."""
+    """Measure one Table-1 cell (with on-disk caching).
+
+    With observability enabled, the cell runs inside an ``eval.cell``
+    span, its wall time lands in the ``eval.cell_seconds`` timer, and
+    the per-cell JSON cache reports ``eval.cell_cache.hit``/``.miss``.
+    """
+    with obs.span("eval.cell", workload=workload.name,
+                  compiler=compiler, opt_level=opt_level) as cell_span, \
+            obs.timed("eval.cell_seconds"):
+        result = _measure_cell(workload, compiler, opt_level, use_cache,
+                               include_secondwrite, cell_span)
+    return result
+
+
+def _measure_cell(workload: Workload, compiler: str, opt_level: str,
+                  use_cache: bool, include_secondwrite: bool,
+                  cell_span) -> CellResult:
     cache_file = _cache_dir() / (_cell_key(workload, compiler,
                                            opt_level) + ".json")
-    if use_cache and cache_file.exists():
-        doc = json.loads(cache_file.read_text())
-        return CellResult(**doc)
+    if use_cache:
+        if cache_file.exists():
+            doc = json.loads(cache_file.read_text())
+            obs.count("eval.cell_cache.hit")
+            cell_span.set(cached=True)
+            return CellResult(**doc)
+        obs.count("eval.cell_cache.miss")
 
     image = workload.compile(compiler, opt_level)
     inputs = workload.inputs()
@@ -188,11 +209,23 @@ def measure_cell(workload: Workload, compiler: str, opt_level: str,
 
 
 def _measure_cell_task(task):
-    """Worker entry point for the parallel sweep (picklable by name)."""
-    name, compiler, opt_level, use_cache, include_secondwrite = task
+    """Worker entry point for the parallel sweep (picklable by name).
+
+    When the parent sweeps with observability on, the worker activates
+    its own recorder and ships the serialized registry (and span trees)
+    back alongside the result so the parent can merge them.
+    """
+    name, compiler, opt_level, use_cache, include_secondwrite, \
+        observe = task
+    if observe:
+        # Reset per task: pool workers are reused, and a forked worker
+        # also inherits the parent's pre-fork data — either would be
+        # double-counted when the parent merges this task's payload.
+        obs.enable(reset=True)
     result = measure_cell(WORKLOADS[name], compiler, opt_level,
                           use_cache, include_secondwrite)
-    return (name, compiler, opt_level), result
+    payload = obs.export_payload() if observe else None
+    return (name, compiler, opt_level), result, payload
 
 
 def sweep(workload_names: tuple[str, ...] | None = None,
@@ -205,20 +238,26 @@ def sweep(workload_names: tuple[str, ...] | None = None,
     With ``jobs > 1`` cells are fanned out over a process pool — every
     cell is independent, and the on-disk caches use atomic writes, so
     workers never conflict.  ``progress`` then reports cells as they
-    *complete* rather than as they start.
+    *complete* rather than as they start.  When observability is active
+    in the parent, each worker records with its own registry and the
+    parent merges every worker's metrics and spans on completion, so
+    ``obs.export`` aggregates the whole sweep.
     """
     names = workload_names or tuple(WORKLOADS)
     tasks = [(name, compiler, opt_level)
              for name in names for compiler, opt_level in configs]
     out: dict[tuple[str, str, str], CellResult] = {}
     if jobs > 1 and len(tasks) > 1:
+        observe = obs.enabled()
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(_measure_cell_task,
-                            (*task, use_cache, include_secondwrite))
+                            (*task, use_cache, include_secondwrite,
+                             observe))
                 for task in tasks]
             for future in as_completed(futures):
-                key, result = future.result()
+                key, result, payload = future.result()
+                obs.merge_payload(payload)
                 if progress is not None:
                     progress(*key)
                 out[key] = result

@@ -58,7 +58,8 @@ from .values import (
     Value,
 )
 from ..emu.libc import ExitProgram, LibC, ListArgs, StackArgs
-from ..emu.memory import Memory
+from ..emu.memory import make_memory
+from ..obs import count as _obs_count, recorder as _obs_recorder
 
 MASK32 = 0xFFFFFFFF
 
@@ -228,7 +229,14 @@ class Interpreter:
         #: Per-block compiled code: block -> (func version, #instrs,
         #: (steps, phi plan, body closures, terminator closure)).
         self._code: dict = {}
-        self.mem = Memory()
+        #: Observability: per-function execution counts land in this
+        #: plain dict (the shared profile's counts) when a recorder is
+        #: active; None keeps the call path branchless beyond one check.
+        rec = _obs_recorder()
+        self._func_counts: dict | None = \
+            rec.registry.profile("ir.func_calls").counts \
+            if rec is not None else None
+        self.mem = make_memory()
         self.libc = LibC(self.mem, list(input_items or []))
         self.intrinsic_handler = intrinsic_handler
         self.shadow = shadow
@@ -301,6 +309,10 @@ class Interpreter:
             code = rets[0] if rets else 0
         except ExitProgram as exc:
             code = exc.code
+        finally:
+            if self._func_counts is not None:
+                _obs_count("ir.runs")
+                _obs_count("ir.steps", self.steps)
         return InterpResult(code & MASK32, bytes(self.libc.stdout),
                             self.steps)
 
@@ -350,6 +362,9 @@ class Interpreter:
             raise InterpError(
                 f"{func.name}: called with {len(args)} args, wants "
                 f"{len(func.params)}")
+        counts = self._func_counts
+        if counts is not None:
+            counts[func.name] = counts.get(func.name, 0) + 1
         frame = Frame(func, self._next_frame_id, sp)
         self._next_frame_id += 1
         for param, value in zip(func.params, args):
@@ -424,6 +439,9 @@ class Interpreter:
             raise InterpError(
                 f"{func.name}: called with {len(args)} args, wants "
                 f"{len(func.params)}")
+        counts = self._func_counts
+        if counts is not None:
+            counts[func.name] = counts.get(func.name, 0) + 1
         frame = Frame(func, self._next_frame_id, sp)
         self._next_frame_id += 1
         values = frame.values
@@ -501,6 +519,10 @@ class Interpreter:
         n = len(block.instrs)
         if entry is not None and entry[0] == version and entry[1] == n:
             return entry[2]
+        # Cold path: first compile or a version-mismatch invalidation.
+        if entry is not None:
+            _obs_count("ir.code_cache.invalidations")
+        _obs_count("ir.code_cache.compiles")
         code = self._compile_block(block)
         self._code[block] = (version, n, code)
         return code

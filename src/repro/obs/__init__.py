@@ -1,0 +1,76 @@
+"""repro.obs — observability for the refinement pipeline.
+
+Structured tracing spans, a metrics registry (counters, gauges,
+histograms, timers, profiles), and report generation, threaded through
+every pipeline layer:
+
+* the **driver** wraps its eight stages (trace -> lift -> varargs ->
+  regsave -> canonicalize -> bounds -> optimize -> recompile) in named
+  spans carrying wall time, IR size deltas, and verifier status;
+* the **emulator** reports block-cache hits/misses/evictions,
+  instructions retired, memory fast/slow-path counts, and a hot-block
+  profile;
+* the **IR interpreter** reports compiled-closure cache invalidations
+  and per-function execution counts;
+* the **optimizer** reports per-pass instruction deltas and timings;
+* the **evaluation harness** and ``EvalCache`` report cache hit rates
+  and per-cell timings, aggregated across ``sweep(jobs=N)`` workers.
+
+Disabled by default and zero-overhead when disabled: hot loops select an
+instrumented path only when a recorder is active.  Activate with
+``REPRO_OBS=1`` in the environment or :func:`enable`; export with
+:func:`export` / :func:`write_json`, render with :func:`summary`.
+
+Typical use::
+
+    from repro import obs
+    obs.enable()
+    result = wytiwyg_recompile(image, inputs)
+    doc = obs.export(obs.recorder())
+    print(obs.summary(doc), file=sys.stderr)
+"""
+
+from .metrics import Histogram, MetricsRegistry
+from .profile import Profile
+from .recorder import (
+    Recorder,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    observe,
+    recorder,
+    span,
+    timed,
+)
+from .report import export, iter_spans, summary, write_json
+from .spans import NULL_SPAN, Span
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "NULL_SPAN", "Profile", "Recorder",
+    "Span", "count", "disable", "enable", "enabled", "export",
+    "export_payload", "gauge", "iter_spans", "merge_payload", "observe",
+    "recorder", "span", "summary", "timed", "write_json",
+]
+
+
+def export_payload(top: int = 50) -> dict | None:
+    """Serialize the active recorder for hand-off to another process
+    (a ``sweep`` worker reporting back to its parent), or None when
+    observability is disabled."""
+    rec = recorder()
+    if rec is None:
+        return None
+    return export(rec, top)
+
+
+def merge_payload(payload: dict | None) -> None:
+    """Fold a worker's :func:`export_payload` document into the active
+    recorder: metrics merge, the worker's span trees are kept verbatim
+    alongside local spans.  A no-op when disabled or payload is None."""
+    rec = recorder()
+    if rec is None or payload is None:
+        return
+    rec.registry.merge(payload.get("metrics", {}))
+    rec.foreign_spans.extend(payload.get("spans", []))

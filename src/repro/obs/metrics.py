@@ -1,0 +1,143 @@
+"""Metrics registry: counters, gauges, histograms, timers, profiles.
+
+One :class:`MetricsRegistry` lives on the active recorder.  Counters and
+gauges are plain dicts (hot instrumentation sites cache the dict and
+update it directly); histograms keep summary statistics rather than raw
+samples; timers are histograms over seconds.  Registries serialize to
+plain-dict payloads and merge, which is how ``sweep(jobs=N)`` worker
+processes report back to the parent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .profile import Profile
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Streaming summary statistics (count/sum/min/max) of a series."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge_dict(self, doc: dict) -> None:
+        if not doc.get("count"):
+            return
+        self.count += doc["count"]
+        self.total += doc["sum"]
+        self.min = min(self.min, doc["min"])
+        self.max = max(self.max, doc["max"])
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """All metrics of one recorder, mergeable across processes."""
+
+    __slots__ = ("counters", "gauges", "histograms", "timers", "profiles")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.timers: dict[str, Histogram] = {}
+        self.profiles: dict[str, Profile] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).add(value)
+
+    def timer(self, name: str) -> Histogram:
+        hist = self.timers.get(name)
+        if hist is None:
+            hist = self.timers[name] = Histogram()
+        return hist
+
+    @contextmanager
+    def time(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timer(name).add(time.perf_counter() - start)
+
+    def profile(self, name: str) -> Profile:
+        prof = self.profiles.get(name)
+        if prof is None:
+            prof = self.profiles[name] = Profile()
+        return prof
+
+    # -- serialization / aggregation ----------------------------------------
+
+    def to_dict(self, top: int = 10) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: h.to_dict() for name, h
+                           in sorted(self.histograms.items())},
+            "timers": {name: h.to_dict() for name, h
+                       in sorted(self.timers.items())},
+            "profiles": {name: p.to_dict(top) for name, p
+                         in sorted(self.profiles.items())},
+        }
+
+    def merge(self, doc: dict) -> None:
+        """Fold a serialized registry (:meth:`to_dict` output) into this
+        one: counters/profiles sum, histograms/timers combine their
+        summary statistics, gauges keep the incoming value."""
+        for name, n in doc.get("counters", {}).items():
+            self.count(name, n)
+        self.gauges.update(doc.get("gauges", {}))
+        for name, h in doc.get("histograms", {}).items():
+            self.histogram(name).merge_dict(h)
+        for name, h in doc.get("timers", {}).items():
+            self.timer(name).merge_dict(h)
+        for name, p in doc.get("profiles", {}).items():
+            prof = self.profile(name)
+            for key, n in p.get("top", []):
+                prof.add(key, n)
+            # Entries below the exported top-N are preserved in total
+            # only; record the remainder under a sentinel so sums match.
+            rest = p.get("total", 0) - sum(n for _, n in p.get("top", []))
+            if rest > 0:
+                prof.add("(other)", rest)

@@ -1,0 +1,145 @@
+"""Observability state: the process-wide recorder and fast accessors.
+
+The default state is *disabled*: :data:`_RECORDER` is ``None`` and every
+helper below returns immediately after one module-global read, so
+instrumentation sites in hot code cost nothing measurable.  Activation
+is explicit (:func:`enable`) or environmental (``REPRO_OBS=1`` at
+import; ``REPRO_OBS=0``/unset keeps the no-op path).
+
+Hot loops go one step further: they fetch the recorder once (via
+:func:`recorder`) when a run starts and pick an instrumented code path
+only if it is non-``None``, keeping the disabled path byte-identical to
+the uninstrumented engine.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import MetricsRegistry
+from .spans import NULL_SPAN, Span
+
+__all__ = ["Recorder", "count", "disable", "enable", "enabled", "gauge",
+           "observe", "recorder", "span", "timed"]
+
+
+class Recorder:
+    """Collects spans, metrics, and profiles for one process."""
+
+    __slots__ = ("registry", "spans", "foreign_spans", "_stack")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        #: Finished root spans, in completion order.
+        self.spans: list[Span] = []
+        #: Serialized span trees merged in from worker processes.
+        self.foreign_spans: list[dict] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(name, attrs, self)
+
+    def profile(self, name: str):
+        return self.registry.profile(name)
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) -----------------
+
+    def _span_started(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _span_finished(self, span: Span) -> None:
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:       # exited out of order; tolerate it
+            stack.remove(span)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+
+
+_RECORDER: Recorder | None = None
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_OBS")
+    return value not in (None, "", "0", "false", "off")
+
+
+def enabled() -> bool:
+    return _RECORDER is not None
+
+
+def recorder() -> Recorder | None:
+    """The active recorder, or None when observability is disabled."""
+    return _RECORDER
+
+
+def enable(reset: bool = False) -> Recorder:
+    """Activate observability; with ``reset`` discard prior data."""
+    global _RECORDER
+    if _RECORDER is None or reset:
+        _RECORDER = Recorder()
+    return _RECORDER
+
+
+def disable() -> None:
+    global _RECORDER
+    _RECORDER = None
+
+
+# -- module-level no-op-when-disabled helpers -------------------------------
+
+
+def span(name: str, **attrs):
+    """A context-managed span, or the inert NULL_SPAN when disabled."""
+    rec = _RECORDER
+    if rec is None:
+        return NULL_SPAN
+    return rec.span(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        counters = rec.registry.counters
+        counters[name] = counters.get(name, 0) + n
+
+
+def gauge(name: str, value: float) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        rec.registry.gauges[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        rec.registry.observe(name, value)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def timed(name: str):
+    """Context manager adding elapsed seconds to a timer (no-op when
+    disabled)."""
+    rec = _RECORDER
+    if rec is None:
+        return _NULL_TIMER
+    return rec.registry.time(name)
+
+
+if _env_enabled():
+    enable()

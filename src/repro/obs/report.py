@@ -1,0 +1,116 @@
+"""Report generation: JSON export and the per-stage summary table.
+
+``export`` turns a recorder into a plain-dict document (the JSON schema
+documented in README's Observability section); ``summary`` renders that
+document as the human-readable table the CLI prints to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .recorder import Recorder
+
+__all__ = ["export", "iter_spans", "summary", "write_json"]
+
+SCHEMA_VERSION = 1
+
+
+def export(rec: Recorder, top: int = 10) -> dict:
+    """Serialize a recorder to a plain-dict report document."""
+    return {
+        "version": SCHEMA_VERSION,
+        "spans": [s.to_dict() for s in rec.spans] + list(rec.foreign_spans),
+        "metrics": rec.registry.to_dict(top),
+    }
+
+
+def write_json(rec: Recorder, path: str | Path, top: int = 10) -> dict:
+    doc = export(rec, top)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=False))
+    return doc
+
+
+def iter_spans(doc: dict):
+    """Depth-first walk over every span dict in a report document."""
+    stack = list(reversed(doc.get("spans", [])))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.get("children", [])))
+
+
+def _ratio(counters: dict, hit: str, miss: str) -> float | None:
+    hits, misses = counters.get(hit, 0), counters.get(miss, 0)
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _fmt_delta(attrs: dict) -> str:
+    before, after = attrs.get("ir_before"), attrs.get("ir_after")
+    if not (before and after):
+        return ""
+    return (f"{before['instrs']:>6} -> {after['instrs']:<6} instrs  "
+            f"({before['functions']}f/{before['blocks']}b -> "
+            f"{after['functions']}f/{after['blocks']}b)")
+
+
+def summary(doc: dict) -> str:
+    """Render a report document as a per-stage table plus highlights."""
+    lines = ["=== repro.obs summary ==="]
+    stage_rows = []
+    for span in iter_spans(doc):
+        name = span.get("name", "")
+        if not name.startswith("stage."):
+            continue
+        attrs = span.get("attrs", {})
+        status = "ERROR" if "error" in attrs else \
+            ("ok" if attrs.get("verified") else "")
+        stage_rows.append((name[len("stage."):],
+                           span.get("seconds", 0.0) * 1e3,
+                           _fmt_delta(attrs), status))
+    if stage_rows:
+        width = max(len(r[0]) for r in stage_rows)
+        lines.append(f"{'stage':<{width}}  {'wall ms':>9}  "
+                     f"{'IR delta':<48}  verify")
+        for name, ms, delta, status in stage_rows:
+            lines.append(f"{name:<{width}}  {ms:>9.2f}  {delta:<48}  "
+                         f"{status}")
+
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    highlights = []
+    block_rate = _ratio(counters, "emu.block_cache.hit",
+                        "emu.block_cache.miss")
+    if block_rate is not None:
+        highlights.append(f"block cache hit rate   {block_rate:7.2%}  "
+                          f"({counters.get('emu.block_cache.hit', 0)} hit"
+                          f" / {counters.get('emu.block_cache.miss', 0)}"
+                          f" miss)")
+    if counters.get("emu.instructions_retired"):
+        highlights.append("instructions retired   "
+                          f"{counters['emu.instructions_retired']:,}")
+    mem_rate = _ratio(counters, "emu.mem.fast_path", "emu.mem.slow_path")
+    if mem_rate is not None:
+        highlights.append(f"memory fast-path rate  {mem_rate:7.2%}")
+    eval_rate = _ratio(counters, "evalcache.hit", "evalcache.miss")
+    if eval_rate is not None:
+        highlights.append(f"eval cache hit rate    {eval_rate:7.2%}")
+    if counters.get("evalcache.corrupt"):
+        highlights.append("eval cache corrupt     "
+                          f"{counters['evalcache.corrupt']}")
+    if counters.get("ir.code_cache.invalidations") is not None:
+        highlights.append("IR code invalidations  "
+                          f"{counters['ir.code_cache.invalidations']}")
+    if highlights:
+        lines.append("")
+        lines.extend(highlights)
+
+    hot = metrics.get("profiles", {}).get("emu.hot_blocks")
+    if hot and hot.get("top"):
+        lines.append("")
+        lines.append("hot blocks (executions):")
+        for addr, n in hot["top"]:
+            lines.append(f"  {addr:>12}  {n:,}")
+    return "\n".join(lines)

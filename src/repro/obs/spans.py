@@ -1,0 +1,83 @@
+"""Structured tracing spans.
+
+A :class:`Span` is one named, timed region of pipeline work.  Spans nest:
+entering a span while another is open makes it a child, so a recompile
+run produces a tree (``pipeline.wytiwyg`` -> ``stage.lift`` -> ...).
+Each span carries free-form attributes — IR size deltas, verifier
+status, cache statistics — set by the instrumented code via
+:meth:`Span.set`.
+
+When observability is disabled the pipeline uses :data:`NULL_SPAN`, a
+singleton whose every operation is a no-op, so the instrumentation sites
+cost one global read and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NULL_SPAN", "Span"]
+
+
+class Span:
+    """One named, timed, attributed region of work (a tree node)."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end", "_rec")
+
+    def __init__(self, name: str, attrs: dict, rec) -> None:
+        self.name = name
+        self.attrs = dict(attrs)
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.end = 0.0
+        self._rec = rec
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; later calls override earlier keys."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        self._rec._span_started(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._rec._span_finished(self)
+        return False
+
+    @property
+    def seconds(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def to_dict(self) -> dict:
+        doc: dict = {"name": self.name, "seconds": self.seconds}
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.children:
+            doc["children"] = [c.to_dict() for c in self.children]
+        return doc
+
+    def __repr__(self) -> str:
+        return f"<span {self.name} {self.seconds * 1e3:.2f}ms>"
+
+
+class _NullSpan:
+    """Inert span used whenever observability is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()

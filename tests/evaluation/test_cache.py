@@ -1,0 +1,54 @@
+"""EvalCache behavior: round trips, misses, and corrupt entries."""
+
+import logging
+
+from repro import obs
+from repro.evaluation.cache import EvalCache
+
+
+def test_round_trip_and_miss_counters(tmp_path):
+    cache = EvalCache(tmp_path)
+    obs.enable(reset=True)
+    try:
+        assert cache.get("traces", "absent") is None
+        cache.put("traces", "k", {"payload": 42})
+        assert cache.get("traces", "k") == {"payload": 42}
+        counters = obs.recorder().registry.counters
+    finally:
+        obs.disable()
+    assert counters == {"evalcache.miss": 1, "evalcache.hit": 1}
+
+
+def test_corrupt_entry_recomputes_with_warning(tmp_path, caplog):
+    cache = EvalCache(tmp_path)
+    cache.put("traces", "k", {"payload": 42})
+    path = cache._path("traces", "k")
+    path.write_bytes(b"\x80\x04 definitely not a pickle")
+
+    obs.enable(reset=True)
+    try:
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.evaluation.cache"):
+            assert cache.get("traces", "k") is None
+        counters = dict(obs.recorder().registry.counters)
+    finally:
+        obs.disable()
+
+    assert counters.get("evalcache.corrupt") == 1
+    assert "evalcache.hit" not in counters
+    messages = [r.getMessage() for r in caplog.records]
+    assert any("corrupt eval-cache entry" in m and "kind=traces" in m
+               and "key=k" in m for m in messages)
+
+    # memo falls through to recompute and repairs the entry.
+    assert cache.memo("traces", "k", lambda: {"payload": 7}) \
+        == {"payload": 7}
+    assert cache.get("traces", "k") == {"payload": 7}
+
+
+def test_key_tracks_content(feature_image, kernel_image):
+    a = EvalCache.key(feature_image, [[]], "traces")
+    assert a == EvalCache.key(feature_image, [[]], "traces")
+    assert a != EvalCache.key(feature_image, [[]], "binrec")
+    assert a != EvalCache.key(feature_image, [[1]], "traces")
+    assert a != EvalCache.key(kernel_image, [[]], "traces")

@@ -1,0 +1,112 @@
+"""Metrics registry: recording, serialization, cross-process merging."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Histogram, MetricsRegistry, Profile
+
+
+def test_histogram_summary_stats():
+    h = Histogram()
+    for v in (2.0, 8.0, 5.0):
+        h.add(v)
+    assert h.count == 3
+    assert h.total == pytest.approx(15.0)
+    assert (h.min, h.max) == (2.0, 8.0)
+    assert h.mean == pytest.approx(5.0)
+    doc = h.to_dict()
+    assert doc == {"count": 3, "sum": pytest.approx(15.0), "min": 2.0,
+                   "max": 8.0, "mean": pytest.approx(5.0)}
+
+
+def test_empty_histogram_serializes_finite():
+    assert Histogram().to_dict() == {"count": 0, "sum": 0.0, "min": 0.0,
+                                     "max": 0.0, "mean": 0.0}
+
+
+def test_histogram_merge():
+    a, b = Histogram(), Histogram()
+    a.add(1.0)
+    b.add(10.0)
+    b.add(4.0)
+    a.merge_dict(b.to_dict())
+    assert a.count == 3
+    assert (a.min, a.max) == (1.0, 10.0)
+    a.merge_dict(Histogram().to_dict())  # empty merge is a no-op
+    assert a.count == 3
+
+
+def test_profile_top_and_hex_keys():
+    p = Profile()
+    p.add(0x401000, 5)
+    p.add(0x402000, 9)
+    p.add("helper")
+    assert p.total == 15
+    assert p.top(1) == [(0x402000, 9)]
+    doc = p.to_dict(top=2)
+    assert doc["unique"] == 3
+    assert doc["top"] == [["0x402000", 9], ["0x401000", 5]]
+
+
+def test_registry_records_every_kind():
+    reg = MetricsRegistry()
+    reg.count("c", 2)
+    reg.count("c")
+    reg.gauge("g", 7.5)
+    reg.observe("h", 3.0)
+    with reg.time("t"):
+        pass
+    reg.profile("p").add("k", 4)
+    doc = reg.to_dict()
+    assert doc["counters"] == {"c": 3}
+    assert doc["gauges"] == {"g": 7.5}
+    assert doc["histograms"]["h"]["count"] == 1
+    assert doc["timers"]["t"]["count"] == 1
+    assert doc["timers"]["t"]["sum"] >= 0.0
+    assert doc["profiles"]["p"]["top"] == [["k", 4]]
+
+
+def test_registry_merge_sums_and_preserves_totals():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.count("c", 1)
+    b.count("c", 2)
+    b.gauge("g", 9.0)
+    b.observe("h", 4.0)
+    for key, n in (("x", 6), ("y", 3), ("z", 1)):
+        b.profile("p").add(key, n)
+    # Export keeps only the top-1 profile entry; the remainder must
+    # survive the merge as the "(other)" sentinel so totals still match.
+    a.merge(b.to_dict(top=1))
+    assert a.counters == {"c": 3}
+    assert a.gauges == {"g": 9.0}
+    assert a.histograms["h"].count == 1
+    prof = a.profiles["p"]
+    assert prof.counts == {"x": 6, "(other)": 4}
+    assert prof.total == b.profiles["p"].total
+
+
+def test_module_helpers_are_noops_when_disabled():
+    obs.disable()
+    obs.count("never")
+    obs.gauge("never", 1.0)
+    obs.observe("never", 1.0)
+    with obs.timed("never"):
+        pass
+    assert obs.recorder() is None
+    assert not obs.enabled()
+
+
+def test_module_helpers_record_when_enabled():
+    rec = obs.enable(reset=True)
+    try:
+        obs.count("c", 5)
+        obs.gauge("g", 2.0)
+        obs.observe("h", 1.5)
+        with obs.timed("t"):
+            pass
+    finally:
+        obs.disable()
+    assert rec.registry.counters == {"c": 5}
+    assert rec.registry.gauges == {"g": 2.0}
+    assert rec.registry.histograms["h"].count == 1
+    assert rec.registry.timers["t"].count == 1

@@ -9,11 +9,16 @@
 # The JSON includes each bench's extra_info (speedup ratios of the
 # cached-block machine and compiled IR interpreter over their per-step
 # reference paths), so a CI job can diff it against a saved baseline.
+#
+# The observability benches (marker ``obs``) run as a second pass and
+# emit BENCH_obs.json: per-stage pipeline timings, cache hit rates, and
+# the disabled-path overhead ratio of the instrumented engine.
 set -eu
 cd "$(dirname "$0")/.."
 
 TARGET="${1:-benchmarks/test_engine.py benchmarks/test_pipeline_costs.py}"
 OUT="${BENCH_JSON:-BENCH_engine.json}"
+OBS_OUT="${BENCH_OBS_JSON:-BENCH_obs.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -22,3 +27,10 @@ PYTHONPATH=src python -m pytest $TARGET \
     -p no:cacheprovider
 
 echo "benchmark report written to $OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_obs.py \
+    -m obs \
+    --benchmark-json "$OBS_OUT" \
+    -p no:cacheprovider
+
+echo "observability benchmark report written to $OBS_OUT"
