@@ -72,7 +72,7 @@ def cmd_recompile(args) -> int:
     image = BinaryImage.from_json(Path(args.image).read_text())
     runs = _parse_inputs(args.input)
     if args.pipeline == "wytiwyg":
-        result = wytiwyg_recompile(image, runs)
+        result = wytiwyg_recompile(image, runs, jobs=args.jobs)
         recovered = result.recovered
         for note in result.notes:
             print(f"  {note}")
@@ -94,7 +94,8 @@ def cmd_recompile(args) -> int:
 def cmd_layout(args) -> int:
     image = BinaryImage.from_json(Path(args.image).read_text())
     runs = _parse_inputs(args.input)
-    result = wytiwyg_recompile(image, runs, optimize=False)
+    result = wytiwyg_recompile(image, runs, optimize=False,
+                               jobs=args.jobs)
     for name, layout in sorted(result.layouts.items()):
         if not layout.variables:
             continue
@@ -141,11 +142,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--pipeline", default="wytiwyg",
                    choices=("wytiwyg", "binrec", "secondwrite"))
     p.add_argument("--input", nargs="*", default=[])
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan replay sweeps out over N worker processes "
+                        "(output is byte-identical to --jobs 1)")
     p.set_defaults(func=cmd_recompile)
 
     p = sub.add_parser("layout", help="print recovered stack layouts")
     p.add_argument("image")
     p.add_argument("--input", nargs="*", default=[])
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan replay sweeps out over N worker processes")
     p.set_defaults(func=cmd_layout)
 
     p = sub.add_parser("eval", help="regenerate the paper's evaluation")

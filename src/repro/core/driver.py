@@ -23,13 +23,24 @@ so each refinement consumes exactly the semantics the previous one
 produced — the "what you trace is what you get" guarantee for traced
 inputs.
 
+All dynamic re-execution goes through one
+:class:`~repro.replay.ReplayEngine` per pipeline run: traced inputs are
+deduplicated once, validation sweeps are skipped when a stage left the
+module's content fingerprint unchanged, and with ``jobs > 1`` the
+validation and instrumented-bounds sweeps fan out over a process pool
+(results merge deterministically, so the recompiled binary is
+byte-identical across ``jobs`` settings).
+
 Observability: with :mod:`repro.obs` enabled every stage above runs
 inside a named span (``stage.trace`` ... ``stage.recompile``) recording
 wall time, the module's function/block/instruction counts before and
 after, and verifier status; the enclosing ``pipeline.wytiwyg`` span
 additionally carries the layout-accuracy precision/recall whenever the
 input image ships ground truth, so a single recompile run reports the
-paper's Figure-7 quality numbers without the evaluation harness.
+paper's Figure-7 quality numbers without the evaluation harness.  The
+replay layer contributes ``replay.runs`` / ``replay.deduped`` /
+``replay.validations_skipped`` / ``validate.interpreter_errors``
+counters and per-sweep timers.
 """
 
 from __future__ import annotations
@@ -40,7 +51,6 @@ from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet, trace_binary
 from ..errors import SymbolizeError
-from ..ir.interp import Interpreter
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..lifting.translator import lift_traces
@@ -54,12 +64,12 @@ from ..opt.deadargelim import shrink_signatures
 from ..opt.simplifycfg import simplify_cfg
 from ..recompile.link import recompile_ir
 from ..recompile.lower import LowerOptions
+from ..replay import ReplayEngine
 from .accuracy import AccuracyReport, evaluate_accuracy
 from .instrument import instrument_module, strip_probes
 from .layout import FrameLayout, build_layouts
 from .regsave import apply_register_classification, classify_registers
 from .replace import drop_sp_threading, replace_base_pointers
-from .runtime import TracingRuntime
 from .signatures import build_signatures
 from .sp0fold import fold_module_stack_refs
 from .varargs import recover_vararg_calls
@@ -104,24 +114,12 @@ def _canonicalize(module: Module) -> None:
         simplify_cfg(func)
 
 
-def _validate(module: Module, traces: TraceSet) -> bool:
-    """Functional check: the refined module reproduces every traced run."""
-    for input_items, expected in zip(traces.inputs, traces.results):
-        try:
-            result = Interpreter(module, input_items).run()
-        except Exception:
-            return False
-        if result.stdout != expected.stdout or \
-                result.exit_code != expected.exit_code:
-            return False
-    return True
-
-
 def wytiwyg_lift(traces: TraceSet,
                  validate: bool = True,
-                 hybrid: bool = False) -> tuple[Module,
-                                                dict[str, FrameLayout],
-                                                list[str]]:
+                 hybrid: bool = False,
+                 jobs: int = 1) -> tuple[Module,
+                                         dict[str, FrameLayout],
+                                         list[str]]:
     """Run the refinement pipeline on merged traces; returns the
     symbolized module, the recovered layouts, and pipeline notes.
 
@@ -131,8 +129,17 @@ def wytiwyg_lift(traces: TraceSet,
     analysis so statically-added paths see sensible signatures.  Traced
     inputs keep their functional guarantee; nearby untraced paths become
     best-effort instead of trapping.
+
+    ``jobs > 1`` fans the validation sweeps and the instrumented bounds
+    runs out over a process pool; the symbolized module is byte-
+    identical to a serial run.
     """
+    engine = ReplayEngine(traces, jobs=jobs)
     notes: list[str] = []
+    if engine.deduped:
+        notes.append(
+            f"replay: {len(engine.unique)} distinct inputs "
+            f"({engine.deduped} duplicates fan in)")
     observing = obs.enabled()
     with obs.span("stage.lift", hybrid=hybrid) as sp:
         module = lift_traces(traces, "wytiwyg", static_extend=hybrid)
@@ -143,38 +150,44 @@ def wytiwyg_lift(traces: TraceSet,
                    transfers=len(traces.transfers),
                    coverage=len(traces.executed),
                    inputs=len(traces.inputs))
+    # The lifted module reproduces the traces by construction; its
+    # fingerprint anchors the validation-skip chain.
+    engine.mark_valid(module)
     if hybrid:
         notes.append("hybrid: static coverage extension enabled")
 
     # Refinement: variadic external calls (§5.2).
     with obs.span("stage.varargs") as sp:
         before = module_stats(module) if observing else None
-        nsites = recover_vararg_calls(module, traces.inputs)
+        nsites = recover_vararg_calls(module,
+                                      engine.replay_inputs("varargs"))
         if nsites:
             notes.append(f"varargs: recovered {nsites} call sites")
         verify_module(module)
+        validated = engine.validate(module, "varargs refinement") \
+            if validate else "off"
         if before is not None:
             sp.set(ir_before=before, ir_after=module_stats(module),
-                   verified=True, call_sites=nsites)
-        if validate and not _validate(module, traces):
-            raise SymbolizeError("varargs refinement broke functionality")
+                   verified=True, call_sites=nsites,
+                   validated=validated)
 
     # Refinement: register save/argument classification (§4.1).
     with obs.span("stage.regsave") as sp:
         before = module_stats(module) if observing else None
-        classification = classify_registers(module, traces.inputs,
-                                            static_augment=hybrid)
+        classification = classify_registers(
+            module, engine.replay_inputs("regsave"),
+            static_augment=hybrid)
         apply_register_classification(module, classification)
         verify_module(module)
+        validated = engine.validate(module, "register refinement") \
+            if validate else "off"
         if before is not None:
             sp.set(ir_before=before, ir_after=module_stats(module),
                    verified=True,
                    classified=len(classification.args),
                    indirect_targets=len(
-                       classification.indirect_targets))
-        if validate and not _validate(module, traces):
-            raise SymbolizeError(
-                "register refinement broke functionality")
+                       classification.indirect_targets),
+                   validated=validated)
     notes.append(
         f"regsave: {len(classification.args)} functions classified, "
         f"{len(classification.indirect_targets)} indirect targets")
@@ -195,12 +208,7 @@ def wytiwyg_lift(traces: TraceSet,
     with obs.span("stage.bounds") as sp:
         before = module_stats(module) if observing else None
         mi = instrument_module(module)
-        runtime = TracingRuntime()
-        for input_items in traces.inputs:
-            interp = Interpreter(module, input_items,
-                                 intrinsic_handler=runtime.handle)
-            runtime.bind(interp)
-            interp.run()
+        runtime = engine.run_instrumented(module)
         strip_probes(module)
         verify_module(module)
 
@@ -214,15 +222,17 @@ def wytiwyg_lift(traces: TraceSet,
             eliminate_dead_code(func)
         shrink_signatures(module)
         verify_module(module)
+        validated = engine.validate(module, "stack symbolization") \
+            if validate else "off"
         nvars = sum(len(lo.variables) for lo in layouts.values())
         if before is not None:
             sp.set(ir_before=before, ir_after=module_stats(module),
                    verified=True, stack_variables=nvars,
-                   stack_args=sum(plan.stack_args.values()))
-        if validate and not _validate(module, traces):
-            raise SymbolizeError("stack symbolization broke functionality")
+                   stack_args=sum(plan.stack_args.values()),
+                   validated=validated)
     notes.append(f"symbolize: {nvars} stack variables, "
                  f"{sum(plan.stack_args.values())} stack args")
+    notes.extend(engine.notes)
     module.metadata["pipeline"] = "wytiwyg"
     return module, layouts, notes
 
@@ -233,13 +243,16 @@ def wytiwyg_recompile(image: BinaryImage,
                       collect_accuracy: bool = True,
                       allow_fallback: bool = True,
                       hybrid: bool = False,
-                      traces: TraceSet | None = None) -> WytiwygResult:
+                      traces: TraceSet | None = None,
+                      jobs: int = 1) -> WytiwygResult:
     """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
     recompile.  Falls back to the unsymbolized (BinRec) pipeline if
     symbolization fails functional validation.
 
     Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
     an existing or cached trace instead of re-executing the binary.
+    ``jobs`` fans validation and bounds replay out over that many
+    worker processes; the result is byte-identical to ``jobs=1``.
     """
     observing = obs.enabled()
     with obs.span("pipeline.wytiwyg", hybrid=hybrid) as pipeline_span:
@@ -251,7 +264,8 @@ def wytiwyg_recompile(image: BinaryImage,
                        transfers=len(traces.transfers),
                        coverage=len(traces.executed))
         try:
-            module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid)
+            module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid,
+                                                  jobs=jobs)
             fallback = False
         except SymbolizeError as exc:
             if not allow_fallback:

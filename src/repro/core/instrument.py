@@ -323,12 +323,14 @@ def strip_probes(module: Module) -> int:
     """Remove every wyt.* probe; returns the number removed."""
     removed = 0
     for func in module.functions.values():
+        func_removed = 0
         for block in func.blocks:
             kept = [i for i in block.instrs
                     if not (isinstance(i, Intrinsic)
                             and i.intrinsic.startswith("wyt."))]
-            removed += len(block.instrs) - len(kept)
+            func_removed += len(block.instrs) - len(kept)
             block.instrs = kept
-        if removed:
+        if func_removed:
             func.invalidate()
+        removed += func_removed
     return removed

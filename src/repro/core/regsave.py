@@ -360,6 +360,7 @@ def _rewrite_call_site(caller: Function, call: Call,
             for instr in b.instrs:
                 instr.ops = [replacements.get(op, op)
                              for op in instr.ops]
+        caller.invalidate()
     callee_ref = call.ops[0]
     call.ops = [callee_ref, *new_args]
     call.nresults = len(out_regs)

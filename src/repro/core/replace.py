@@ -73,6 +73,7 @@ def replace_base_pointers(module: Module,
         fr.rewrite_call_sites(plan, state)
         fr.rewrite_refs()
         fr.delete_retaddr_stores()
+        fr.func.invalidate()  # direct instr-list splices throughout
 
 
 class _FuncReplacement:
@@ -280,6 +281,7 @@ def drop_sp_threading(module: Module) -> bool:
             for instr in block.instrs:
                 instr.ops = [Const(0) if op is sp else op
                              for op in instr.ops]
+        func.invalidate()
     lifted_names = {f.name for f in lifted}
     for func in module.functions.values():
         for block in func.blocks:

@@ -91,6 +91,8 @@ def recover_vararg_calls(module: Module,
         # Rewrite the call in place so existing uses stay valid.
         site.ops = args
         site.stack_args = False
+        if block.function is not None:
+            block.function.invalidate()
         rewritten += 1
     module.metadata["varargs_recovered"] = str(rewritten)
     return rewritten

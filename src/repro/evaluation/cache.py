@@ -48,6 +48,23 @@ class EvalCache:
         h.update(_FORMAT.encode())
         return h.hexdigest()[:32]
 
+    @staticmethod
+    def module_key(module, inputs=None, options: str = "") -> str:
+        """Digest for artifacts derived from an IR module.
+
+        Reuses the replay engine's content fingerprint
+        (:func:`~repro.replay.module_fingerprint`), so a module the
+        pipeline validated and one reloaded from disk with identical
+        content share cache entries.
+        """
+        from ..replay import module_fingerprint
+        h = hashlib.sha256()
+        h.update(module_fingerprint(module).encode())
+        h.update(repr(inputs).encode())
+        h.update(options.encode())
+        h.update(_FORMAT.encode())
+        return h.hexdigest()[:32]
+
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.pkl"
 

@@ -123,13 +123,23 @@ class Function:
         #: Free-form analysis annotations (refinements stash results here).
         self.meta: dict = {}
         #: Mutation counter consulted by the interpreter's per-block
-        #: compiled-code cache.  Bumped by :meth:`Block.append` /
+        #: compiled-code cache and the versioned CFG-analysis cache
+        #: (:mod:`repro.opt.analysis`).  Bumped by :meth:`Block.append` /
         #: :meth:`Block.insert`; passes that splice ``block.instrs``
-        #: directly must call :meth:`invalidate`.
+        #: directly, rewrite terminators in place, or edit
+        #: :attr:`blocks` must call :meth:`invalidate`.
         self.version = 0
 
     def invalidate(self) -> None:
-        """Signal that instruction lists changed behind the builder API."""
+        """Signal a mutation made behind the builder API.
+
+        Contract: call this after *any* change to this function's block
+        list, instruction lists, or terminator targets that bypasses
+        :meth:`Block.append`/:meth:`Block.insert`.  Cached analyses
+        (dominators, predecessors, reachability) and the interpreter's
+        compiled-block cache key on :attr:`version` and serve stale
+        results to mutations that skip it.
+        """
         self.version += 1
 
     @property

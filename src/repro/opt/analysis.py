@@ -1,10 +1,79 @@
 """CFG analyses shared by optimizer passes: reachability, dominators,
-dominance frontiers, and use counting."""
+dominance frontiers, and use counting.
+
+Analyses are cached per mutation epoch: :func:`dominators`,
+:func:`predecessors`, and :func:`reachable` return a shared result until
+the function's :attr:`~repro.ir.module.Function.version` counter (or its
+block/instruction count, a safety net for passes that splice lists
+without bumping it) changes.  The contract for pass authors: *every*
+mutation of a function's blocks, instruction lists, or terminators must
+be followed by ``func.invalidate()`` before another pass (or a later
+fixed-point round) consults these accessors — the builder API
+(:meth:`Block.append` / :meth:`Block.insert`) bumps the version
+automatically, direct splices do not.  Callers must treat the returned
+objects as immutable.  Set ``REPRO_ANALYSIS_CACHE=0`` to disable caching
+(every call recomputes), e.g. to bisect a suspected stale-analysis bug.
+"""
 
 from __future__ import annotations
 
+import os
+import weakref
+
+from .. import obs
 from ..ir.module import Block, Function
 from ..ir.values import Instr, Value
+
+_CACHE_ENABLED = os.environ.get("REPRO_ANALYSIS_CACHE", "1") \
+    not in ("0", "false", "off")
+
+#: func -> (epoch, {analysis name -> result}); weak so retired modules
+#: free their analyses.
+_CACHE: "weakref.WeakKeyDictionary[Function, tuple]" = \
+    weakref.WeakKeyDictionary()
+
+
+def analysis_cache_enabled() -> bool:
+    return _CACHE_ENABLED
+
+
+def _epoch(func: Function) -> tuple[int, int, int]:
+    return (func.version, len(func.blocks),
+            sum(len(b.instrs) for b in func.blocks))
+
+
+def cached_analysis(func: Function, name: str, build):
+    """``build(func)``, memoized until the function's epoch changes."""
+    if not _CACHE_ENABLED:
+        return build(func)
+    epoch = _epoch(func)
+    entry = _CACHE.get(func)
+    if entry is None or entry[0] != epoch:
+        entry = (epoch, {})
+        _CACHE[func] = entry
+    slot = entry[1]
+    if name in slot:
+        obs.count("analysis.cache.hits")
+        return slot[name]
+    obs.count("analysis.cache.misses")
+    result = slot[name] = build(func)
+    return result
+
+
+def dominators(func: Function) -> "Dominators":
+    """Cached :class:`Dominators` for the current mutation epoch."""
+    return cached_analysis(func, "dominators", Dominators)
+
+
+def predecessors(func: Function) -> dict[Block, list[Block]]:
+    """Cached predecessor map (do not mutate the result)."""
+    return cached_analysis(func, "predecessors",
+                           lambda f: f.predecessors())
+
+
+def reachable(func: Function) -> list[Block]:
+    """Cached entry-reachable block list (do not mutate the result)."""
+    return cached_analysis(func, "reachable", reachable_blocks)
 
 
 def reachable_blocks(func: Function) -> list[Block]:

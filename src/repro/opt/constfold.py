@@ -185,3 +185,4 @@ def fold_constants(func: Function) -> bool:
                             if i not in replacements]
             for instr in block.instrs:
                 instr.ops = [resolve(op) for op in instr.ops]
+        func.invalidate()

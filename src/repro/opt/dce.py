@@ -48,4 +48,5 @@ def eliminate_dead_code(func: Function) -> bool:
     dead_set = set(dead)
     for block in func.blocks:
         block.instrs = [i for i in block.instrs if i not in dead_set]
+    func.invalidate()
     return True

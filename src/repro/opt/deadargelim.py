@@ -221,6 +221,7 @@ def eliminate_dead_results(module: Module) -> bool:
                         for instr in block.instrs:
                             for s in stale:
                                 instr.replace_operand(s, call)
+                caller.invalidate()
     return True
 
 

@@ -69,6 +69,7 @@ def eliminate_dead_stores(func: Function,
         return False
     for block in func.blocks:
         block.instrs = [i for i in block.instrs if i not in dead]
+    func.invalidate()
     return True
 
 

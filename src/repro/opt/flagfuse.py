@@ -180,4 +180,5 @@ def fuse_flags(func: Function) -> bool:
                             if i not in replacements or i in fresh]
             for instr in block.instrs:
                 instr.ops = [resolve(op) for op in instr.ops]
+        func.invalidate()
     return changed

@@ -26,7 +26,7 @@ from ..ir.values import (
     Value,
 )
 from .alias import AliasAnalysis
-from .analysis import Dominators
+from .analysis import dominators
 from .simplifycfg import remove_unreachable
 
 _COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor"})
@@ -65,7 +65,7 @@ def _value_key(instr: Instr, numbering: dict[Instr, int]):
 def global_value_numbering(func: Function) -> bool:
     """Dominator-scoped CSE of pure arithmetic. Returns True if changed."""
     remove_unreachable(func)
-    doms = Dominators(func)
+    doms = dominators(func)
     numbering: dict[Instr, int] = {}
     next_number = [0]
     replacements: dict[Instr, Instr] = {}
@@ -103,6 +103,7 @@ def global_value_numbering(func: Function) -> bool:
         block.instrs = [i for i in block.instrs if i not in replacements]
         for instr in block.instrs:
             instr.ops = [resolve(op) for op in instr.ops]
+    func.invalidate()
     return True
 
 
@@ -174,6 +175,7 @@ def eliminate_redundant_loads(func: Function,
                         if i not in replacements or i in kept_exts]
         for instr in block.instrs:
             instr.ops = [resolve(op) for op in instr.ops]
+    func.invalidate()
     return True
 
 

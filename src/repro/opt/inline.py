@@ -198,6 +198,7 @@ def inline_call(caller: Function, call: Call, callee: Function) -> None:
         continuation.instrs.append(Unreachable("no-return inline"))
     if not continuation.is_terminated and not continuation.instrs:
         continuation.instrs.append(Unreachable("empty continuation"))
+    caller.invalidate()
 
 
 def _size_of(func: Function) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..ir.module import Block, Function
 from ..ir.values import Alloca, Const, Instr, Load, Phi, Store, Unary, Value
-from .analysis import Dominators
+from .analysis import dominators
 from .simplifycfg import remove_unreachable
 
 
@@ -60,7 +60,7 @@ def promote_allocas(func: Function) -> bool:
     if not allocas:
         return False
     alloca_set = set(allocas)
-    doms = Dominators(func)
+    doms = dominators(func)
 
     # Phi placement at iterated dominance frontiers of defining blocks.
     phi_for: dict[tuple[Block, Alloca], Phi] = {}
@@ -141,4 +141,5 @@ def promote_allocas(func: Function) -> bool:
             instr.ops = [resolve(op) for op in instr.ops]
             new_instrs.append(instr)
         block.instrs = new_instrs
+    func.invalidate()
     return True

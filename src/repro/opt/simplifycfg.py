@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from ..ir.module import Block, Function
 from ..ir.values import Br, CondBr, Const, Phi, Switch
-from .analysis import reachable_blocks
+from .analysis import predecessors, reachable
 
 
 def remove_unreachable(func: Function) -> bool:
-    live = set(reachable_blocks(func))
+    live = set(reachable(func))
     dead = [b for b in func.blocks if b not in live]
     if not dead:
         return False
@@ -23,6 +23,7 @@ def remove_unreachable(func: Function) -> bool:
                 if d in phi.blocks:
                     phi.remove_incoming(d)
     func.blocks = [b for b in func.blocks if b in live]
+    func.invalidate()
     return True
 
 
@@ -58,6 +59,8 @@ def fold_constant_branches(func: Function) -> bool:
             block.instrs[-1] = Br(target)
             block.instrs[-1].block = block
             changed = True
+    if changed:
+        func.invalidate()
     return changed
 
 
@@ -65,7 +68,7 @@ def merge_block_chains(func: Function) -> bool:
     """Merge B into A when A ends ``br B`` and B has A as sole pred."""
     changed = False
     while True:
-        preds = func.predecessors()
+        preds = predecessors(func)
         merged = False
         for block in func.blocks:
             if not block.is_terminated:
@@ -93,6 +96,7 @@ def merge_block_chains(func: Function) -> bool:
                     phi.blocks = [block if b is succ else b
                                   for b in phi.blocks]
             func.blocks.remove(succ)
+            func.invalidate()
             merged = True
             changed = True
             break
@@ -114,7 +118,7 @@ def forward_empty_blocks(func: Function) -> bool:
             # Forwarding into a phi-block would need incoming rewrites that
             # can conflict; leave those to merge_block_chains.
             continue
-        preds = func.predecessors()[block]
+        preds = predecessors(func)[block]
         if not preds:
             continue
         for pred in preds:
@@ -132,6 +136,9 @@ def forward_empty_blocks(func: Function) -> bool:
                 if pterm.default is block:
                     pterm.default = target
             changed = True
+        # Terminators were retargeted in place (same instruction count);
+        # the cached predecessor map read above is now stale.
+        func.invalidate()
     if changed:
         remove_unreachable(func)
     return changed
@@ -146,6 +153,8 @@ def simplify_single_incoming_phis(func: Function) -> bool:
                 _replace_value_everywhere(func, phi, distinct.pop())
                 block.instrs.remove(phi)
                 changed = True
+    if changed:
+        func.invalidate()
     return changed
 
 

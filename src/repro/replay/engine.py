@@ -1,0 +1,315 @@
+"""The replay engine: all dynamic re-execution of lifted IR.
+
+The refinement pipeline (paper Figure 4) executes the lifted module on
+every traced input at every stage — variadic recovery, register
+classification, the instrumented §4.2 bounds runs, and a functional
+validation sweep after each refinement.  That replay loop dominates
+``wytiwyg_recompile``'s cost, and most of it is redundant:
+
+* **input dedup** — identical entries in ``traces.inputs`` exercise
+  identical paths (execution is deterministic), so each distinct input
+  replays once and the result fans out to its duplicates;
+* **fingerprint-gated validation** — a stage that did not change the
+  module (by content hash, :func:`~repro.replay.fingerprint.
+  module_fingerprint`) cannot have broken functionality, so its
+  validation sweep is skipped entirely;
+* **parallel replay** — validation sweeps and the instrumented bounds
+  runs are independent per input and fan out over a process pool
+  (``jobs=N``); per-input :class:`~repro.core.runtime.TracingRuntime`
+  recordings are merged deterministically in traced-input order, so
+  parallel and serial runs produce byte-identical recompiled binaries;
+* **early-exit validation** — traced runs are replayed cheapest first
+  and the sweep stops at the first mismatch, naming the diverging input
+  in the raised :class:`~repro.errors.SymbolizeError`.
+
+Observability: counters ``replay.runs`` / ``replay.deduped`` /
+``replay.validations_skipped`` / ``validate.interpreter_errors``, and a
+``replay.<stage>_seconds`` timer per replay stage.
+
+Process-pool workers are spawned with the ``fork`` start method and read
+the module from inherited memory (a lifted module is a cyclic object
+graph that may exceed pickle's recursion limits), so a fresh pool is
+created per stage — the module mutates between stages.  Where ``fork``
+is unavailable, or a pool dies mid-sweep, the engine falls back to the
+serial path, which computes the same results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from .. import obs
+from ..core.runtime import TracingRuntime
+from ..emu.tracer import TraceSet
+from ..errors import SymbolizeError
+from ..ir.interp import Interpreter
+from ..ir.module import Module
+from .fingerprint import module_fingerprint
+
+
+def _baseline() -> bool:
+    """``REPRO_REPLAY_BASELINE=1`` disables dedup and fingerprint
+    skipping, restoring the pre-replay-engine sweep behaviour (every
+    input, every stage).  Benchmarks use it to measure the win."""
+    return os.environ.get("REPRO_REPLAY_BASELINE", "") not in ("", "0")
+
+
+#: Worker state inherited over ``fork``: (module, inputs, results,
+#: observe).
+_CTX: tuple | None = None
+
+
+def _worker_begin() -> bool:
+    """Reset the inherited recorder so this worker's metrics are not
+    double-counted when the parent merges its payload."""
+    observe = _CTX[3]
+    if observe:
+        obs.enable(reset=True)
+    return observe
+
+
+def _validate_worker(index: int):
+    module, inputs, results, _observe = _CTX
+    observe = _worker_begin()
+    out = _validate_one(module, inputs[index], results[index], index)
+    return out + (obs.export_payload() if observe else None,)
+
+
+def _validate_one(module: Module, items, expected, index: int):
+    """Replay one traced input.
+
+    Returns ``(index, ok, reason, interp_error)`` — ``interp_error``
+    marks a swallowed interpreter exception (counted and noted by the
+    caller) as opposed to an output mismatch.
+    """
+    try:
+        result = Interpreter(module, items).run()
+    except Exception as exc:  # diagnosable, not silent (see validate())
+        return index, False, f"{type(exc).__name__}: {exc}", True
+    if result.stdout != expected.stdout:
+        return index, False, "stdout diverged", False
+    if result.exit_code != expected.exit_code:
+        return (index, False,
+                f"exit code {result.exit_code} != {expected.exit_code}",
+                False)
+    return index, True, None, False
+
+
+def _bounds_worker(index: int):
+    module, inputs, _results, _observe = _CTX
+    observe = _worker_begin()
+    runtime = TracingRuntime()
+    interp = Interpreter(module, inputs[index],
+                         intrinsic_handler=runtime.handle)
+    runtime.bind(interp)
+    interp.run()
+    return (index, runtime.snapshot(),
+            obs.export_payload() if observe else None)
+
+
+class ReplayEngine:
+    """Owns every dynamic re-execution of one refinement pipeline run.
+
+    One engine per :func:`~repro.core.driver.wytiwyg_lift` invocation;
+    it deduplicates the traced inputs once, tracks the fingerprint of
+    the last module state known to reproduce the traces, and fans
+    replay sweeps out over ``jobs`` worker processes.
+    """
+
+    def __init__(self, traces: TraceSet, jobs: int = 1):
+        self.traces = traces
+        self.jobs = max(1, int(jobs))
+        self.baseline = _baseline()
+        seen: set[str] = set()
+        #: Indices into ``traces.inputs``, first occurrence of each
+        #: distinct input, in traced order (merge determinism relies on
+        #: this order).
+        self.unique: list[int] = []
+        for i, items in enumerate(traces.inputs):
+            key = repr(items)
+            if self.baseline or key not in seen:
+                seen.add(key)
+                self.unique.append(i)
+        self.deduped = len(traces.inputs) - len(self.unique)
+        if self.deduped:
+            obs.count("replay.deduped", self.deduped)
+        self._valid_fp: str | None = None
+        #: Diagnostics accumulated across sweeps (merged into pipeline
+        #: notes by the driver).
+        self.notes: list[str] = []
+
+    @property
+    def unique_inputs(self) -> list[list]:
+        return [self.traces.inputs[i] for i in self.unique]
+
+    def replay_inputs(self, stage: str) -> list[list]:
+        """Deduplicated inputs for a serial replay stage (counted)."""
+        uniq = self.unique_inputs
+        obs.count("replay.runs", len(uniq))
+        return uniq
+
+    # -- fingerprint tracking -----------------------------------------------
+
+    def mark_valid(self, module: Module) -> None:
+        """Record ``module``'s current content as trace-reproducing.
+
+        Called after lifting (the lifted module reproduces the traces by
+        construction — that is the paper's core guarantee) and after
+        every successful validation sweep.
+        """
+        if not self.baseline:
+            self._valid_fp = module_fingerprint(module)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, module: Module, stage: str) -> str:
+        """Functional check: the module reproduces every traced run.
+
+        Returns ``"skipped"`` when the module content is unchanged since
+        it was last known good, else ``"ok"``.  Raises
+        :class:`SymbolizeError` naming the diverging input (and the
+        interpreter error, if one was swallowed) on failure.
+        """
+        with obs.timed("replay.validate_seconds"):
+            fp = None if self.baseline else module_fingerprint(module)
+            if fp is not None and fp == self._valid_fp:
+                obs.count("replay.validations_skipped")
+                self.notes.append(
+                    f"validate[{stage}]: skipped (module unchanged)")
+                return "skipped"
+            # Cheapest traced run first: a broken refinement usually
+            # breaks every input, so fail on the cheapest one.
+            results = self.traces.results
+            order = sorted(self.unique,
+                           key=lambda i: (results[i].cycles, i))
+            if self.jobs > 1 and len(order) > 1:
+                failure = self._validate_parallel(module, order)
+            else:
+                failure = self._validate_serial(module, order)
+            if failure is not None:
+                index, reason, interp_error = failure
+                if interp_error:
+                    obs.count("validate.interpreter_errors")
+                    self.notes.append(
+                        f"validate[{stage}]: interpreter error on "
+                        f"input #{index}: {reason}")
+                raise SymbolizeError(
+                    f"{stage} broke functionality: traced input "
+                    f"#{index} {self.traces.inputs[index]!r} "
+                    f"diverged ({reason})")
+            self._valid_fp = fp
+            return "ok"
+
+    def _validate_serial(self, module, order):
+        inputs, results = self.traces.inputs, self.traces.results
+        for i in order:
+            obs.count("replay.runs")
+            index, ok, reason, interp_error = _validate_one(
+                module, inputs[i], results[i], i)
+            if not ok:
+                return index, reason, interp_error
+        return None
+
+    def _validate_parallel(self, module, order):
+        try:
+            pool = self._pool(module, len(order))
+        except Exception:
+            return self._validate_serial(module, order)
+        position = {i: pos for pos, i in enumerate(order)}
+        failures: list[tuple] = []
+        try:
+            with pool:
+                futures = [pool.submit(_validate_worker, i)
+                           for i in order]
+                for future in as_completed(futures):
+                    (index, ok, reason, interp_error,
+                     payload) = future.result()
+                    obs.merge_payload(payload)
+                    obs.count("replay.runs")
+                    if not ok:
+                        failures.append((index, reason, interp_error))
+                        # Early exit: drop the runs still queued.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
+        except Exception:
+            # A broken pool (OOM-killed worker, missing fork support
+            # surfacing late): replaying serially is idempotent.
+            return self._validate_serial(module, order)
+        if not failures:
+            return None
+        # Deterministic report: the earliest failure in sweep order.
+        return min(failures, key=lambda f: position[f[0]])
+
+    # -- instrumented bounds runs (§4.2) -------------------------------------
+
+    def run_instrumented(self, module: Module) -> TracingRuntime:
+        """Execute the probe-instrumented module on every distinct input
+        and return the merged tracing runtime.
+
+        Per-input runtimes are merged in traced-input order, which
+        reproduces the variable/argument-area discovery order of a
+        single shared runtime — serial and parallel sweeps therefore
+        feed identical state to layout construction.
+        """
+        with obs.timed("replay.bounds_seconds"):
+            merged = TracingRuntime()
+            order = self.unique
+            if self.jobs > 1 and len(order) > 1:
+                snapshots = self._bounds_parallel(module, order)
+                if snapshots is not None:
+                    for i in order:
+                        merged.merge(snapshots[i])
+                    return merged
+            inputs = self.traces.inputs
+            for i in order:
+                obs.count("replay.runs")
+                runtime = TracingRuntime()
+                interp = Interpreter(module, inputs[i],
+                                     intrinsic_handler=runtime.handle)
+                runtime.bind(interp)
+                interp.run()
+                merged.merge(runtime)
+            return merged
+
+    def _bounds_parallel(self, module, order):
+        try:
+            pool = self._pool(module, len(order))
+        except Exception:
+            return None
+        snapshots: dict[int, dict] = {}
+        try:
+            with pool:
+                futures = [pool.submit(_bounds_worker, i) for i in order]
+                for future in as_completed(futures):
+                    index, snapshot, payload = future.result()
+                    obs.merge_payload(payload)
+                    obs.count("replay.runs")
+                    snapshots[index] = snapshot
+        except SymbolizeError:
+            raise
+        except Exception as exc:
+            # Interpreter errors must propagate exactly as in the serial
+            # sweep; only pool-transport failures fall back.
+            if type(exc).__name__ in ("BrokenProcessPool",
+                                      "PicklingError"):
+                return None
+            raise
+        return snapshots
+
+    # -- pool ----------------------------------------------------------------
+
+    def _pool(self, module: Module, ntasks: int) -> ProcessPoolExecutor:
+        """A fork-context pool whose workers inherit the module.
+
+        ``_CTX`` is published before the fork so workers read the
+        current module state from memory instead of unpickling a deep,
+        cyclic IR graph.
+        """
+        global _CTX
+        _CTX = (module, self.traces.inputs, self.traces.results,
+                obs.enabled())
+        ctx = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=min(self.jobs, ntasks),
+                                   mp_context=ctx)

@@ -1,0 +1,243 @@
+"""The replay engine: dedup, fingerprint-gated validation, merge
+determinism, and parallel/serial equivalence (ISSUE 3 tentpole)."""
+
+import pytest
+
+from repro import obs
+from repro.core.driver import wytiwyg_lift, wytiwyg_recompile
+from repro.core.runtime import ArgAccess, StackVar, TracingRuntime
+from repro.emu import trace_binary
+from repro.errors import SymbolizeError
+from repro.ir.printer import module_to_text
+from repro.ir.values import BinOp, CallExt, Const
+from repro.lifting import lift_traces
+from repro.replay import ReplayEngine, module_fingerprint
+from tests.conftest import KERNEL_SOURCE, cached_image
+
+#: Exit-code workload (no printf): the varargs stage is a no-op, so its
+#: validation sweep must be fingerprint-skipped.
+EXIT_SOURCE = r"""
+int mix(int a, int b) {
+    int acc = a;
+    for (int i = 0; i < b; i++) acc = acc * 31 + i;
+    return acc;
+}
+int main() {
+    int n = read_int();
+    int seed = read_int();
+    return mix(seed, n * 10) % 97;
+}
+"""
+
+INPUTS = [[5, 1], [6, 2], [7, 3], [8, 4], [5, 1], [6, 2]]
+
+
+def _traced(source=EXIT_SOURCE, inputs=INPUTS):
+    image = cached_image(source)
+    traces = trace_binary(image.stripped(), inputs)
+    return image, traces
+
+
+# -- TracingRuntime.merge -----------------------------------------------------
+
+
+def _var(ref_id, **kw):
+    return StackVar(ref_id=ref_id, func_name="f", sp0_offset=-8, **kw)
+
+
+def test_merge_widens_bounds_commutatively():
+    a = TracingRuntime()
+    b = TracingRuntime()
+    a.stack_vars[1] = _var(1, low=-4, high=4, align=4)
+    b.stack_vars[1] = _var(1, low=-8, high=0, align=8)
+    b.stack_vars[2] = _var(2, low=0, high=4)
+
+    ab = TracingRuntime().merge(a).merge(b)
+    ba = TracingRuntime().merge(b).merge(a)
+    for merged in (ab, ba):
+        assert (merged.stack_vars[1].low,
+                merged.stack_vars[1].high) == (-8, 4)
+        assert merged.stack_vars[1].align == 8
+        assert (merged.stack_vars[2].low,
+                merged.stack_vars[2].high) == (0, 4)
+
+
+def test_merge_arg_access_does_not_fabricate_walked():
+    # A merged span wider than one word must NOT set `walked` -- that
+    # flag records *how* the area was accessed, not its extent.
+    a = TracingRuntime()
+    b = TracingRuntime()
+    a.arg_accesses[7] = ArgAccess(callsite_id=7, low=0, high=4,
+                                  callees={"f"})
+    b.arg_accesses[7] = ArgAccess(callsite_id=7, low=4, high=8,
+                                  callees={"g"})
+    merged = TracingRuntime().merge(a).merge(b)
+    access = merged.arg_accesses[7]
+    assert (access.low, access.high) == (0, 8)
+    assert access.callees == {"f", "g"}
+    assert not access.walked
+
+    b.arg_accesses[7].walked = True
+    assert TracingRuntime().merge(a).merge(b).arg_accesses[7].walked
+
+
+def test_merge_links_union_and_insertion_order():
+    a = TracingRuntime()
+    b = TracingRuntime()
+    a.links.add(frozenset({1, 2}))
+    b.links.add(frozenset({2, 3}))
+    a.stack_vars[1] = _var(1)
+    b.stack_vars[3] = _var(3)
+    b.stack_vars[1] = _var(1)
+    merged = TracingRuntime().merge(a).merge(b)
+    assert merged.links == {frozenset({1, 2}), frozenset({2, 3})}
+    # First-touch order is preserved: var 1 came from the first input.
+    assert list(merged.stack_vars) == [1, 3]
+
+
+# -- fingerprint --------------------------------------------------------------
+
+
+def test_fingerprint_stable_and_mutation_sensitive():
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    fp1 = module_fingerprint(module)
+    assert fp1 == module_fingerprint(module)
+
+    func = next(iter(module.functions.values()))
+    term = func.entry.instrs.pop()
+    func.entry.append(term)  # version bumped, content identical
+    assert module_fingerprint(module) == fp1
+
+    func.entry.insert(0, BinOp("add", Const(1), Const(2)))
+    assert module_fingerprint(module) != fp1
+
+
+# -- dedup + validation skipping ----------------------------------------------
+
+
+def test_engine_dedups_traced_inputs():
+    _image, traces = _traced()
+    engine = ReplayEngine(traces, jobs=1)
+    assert len(engine.unique) == 4
+    assert engine.deduped == 2
+    # Traced order, first occurrences.
+    assert engine.unique == [0, 1, 2, 3]
+    assert engine.unique_inputs == INPUTS[:4]
+
+
+def test_validation_skipped_until_module_mutates():
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    rec = obs.enable(reset=True)
+    try:
+        engine = ReplayEngine(traces, jobs=1)
+        engine.mark_valid(module)
+        assert engine.validate(module, "noop stage") == "skipped"
+        counters = rec.registry.counters
+        assert counters.get("replay.validations_skipped") == 1
+        assert counters.get("replay.runs", 0) == 0
+
+        # A real (harmless) mutation must force a full re-validation.
+        func = next(iter(module.functions.values()))
+        func.entry.insert(0, BinOp("add", Const(1), Const(2)))
+        assert engine.validate(module, "mutated stage") == "ok"
+        assert counters.get("replay.runs") == len(engine.unique)
+    finally:
+        obs.disable()
+
+
+def test_validation_failure_names_diverging_input():
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    engine = ReplayEngine(traces, jobs=1)
+    # Break the program: force exit(123); the traced exit codes are
+    # mix(...) % 97 truncations that never equal 123.
+    mutated = False
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, CallExt) and instr.ext_name == "exit":
+                instr.ops = [Const(123)]
+                instr.stack_args = False
+                mutated = True
+        func.invalidate()
+    assert mutated
+    with pytest.raises(SymbolizeError) as err:
+        engine.validate(module, "broken stage")
+    assert "broken stage" in str(err.value)
+    assert "traced input #" in str(err.value)
+
+
+def test_interpreter_error_is_counted_and_noted():
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    engine = ReplayEngine(traces, jobs=1)
+    # Dangling operand: the exit call consumes an instruction that never
+    # executes, so every replay dies with an interpreter error.
+    dangling = BinOp("add", Const(1), Const(2))
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, CallExt) and instr.ext_name == "exit":
+                instr.ops = [dangling]
+                instr.stack_args = False
+        func.invalidate()
+    rec = obs.enable(reset=True)
+    try:
+        with pytest.raises(SymbolizeError) as err:
+            engine.validate(module, "crashing stage")
+        assert rec.registry.counters.get(
+            "validate.interpreter_errors") == 1
+        assert any("interpreter error" in n for n in engine.notes)
+        assert "diverged" in str(err.value)
+    finally:
+        obs.disable()
+
+
+# -- parallel/serial equivalence ----------------------------------------------
+
+
+def _recompile(image, inputs, traces, **kw):
+    result = wytiwyg_recompile(image, inputs, traces=traces,
+                               allow_fallback=False, **kw)
+    layouts = {
+        name: [(v.name, v.start, v.end, v.align)
+               for v in layout.variables]
+        for name, layout in result.layouts.items()
+    }
+    return result, layouts
+
+
+def test_jobs4_byte_identical_to_serial():
+    image, traces = _traced()
+    serial, serial_layouts = _recompile(image, INPUTS, traces, jobs=1)
+    par, par_layouts = _recompile(image, INPUTS, traces, jobs=4)
+    assert par.recovered.to_json() == serial.recovered.to_json()
+    assert par_layouts == serial_layouts
+    assert par.fallback == serial.fallback == False
+    if serial.accuracy is not None:
+        assert par.accuracy.precision == serial.accuracy.precision
+        assert par.accuracy.recall == serial.accuracy.recall
+
+
+def test_analysis_cache_off_is_byte_identical(monkeypatch):
+    from repro.opt import analysis
+
+    image, traces = _traced()
+    cached, cached_layouts = _recompile(image, INPUTS, traces, jobs=1)
+    monkeypatch.setattr(analysis, "_CACHE_ENABLED", False)
+    plain, plain_layouts = _recompile(image, INPUTS, traces, jobs=1)
+    assert plain.recovered.to_json() == cached.recovered.to_json()
+    assert plain_layouts == cached_layouts
+
+
+def test_run_instrumented_parallel_merges_deterministically():
+    image = cached_image(KERNEL_SOURCE)
+    m1, layouts1, _ = wytiwyg_lift(
+        trace_binary(image.stripped(), [[], []]), jobs=1)
+    m4, layouts4, _ = wytiwyg_lift(
+        trace_binary(image.stripped(), [[], []]), jobs=4)
+    assert module_to_text(m1) == module_to_text(m4)
+    assert {n: [(v.start, v.end) for v in lo.variables]
+            for n, lo in layouts1.items()} == \
+           {n: [(v.start, v.end) for v in lo.variables]
+            for n, lo in layouts4.items()}

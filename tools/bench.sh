@@ -13,12 +13,18 @@
 # The observability benches (marker ``obs``) run as a second pass and
 # emit BENCH_obs.json: per-stage pipeline timings, cache hit rates, and
 # the disabled-path overhead ratio of the instrumented engine.
+#
+# The replay benches run as a third pass and emit BENCH_replay.json:
+# refinement wall time of the optimized replay engine (dedup +
+# fingerprint-skipped validation + jobs=4 fan-out) against the
+# pre-engine baseline sweep, plus the validation-skip hit rate.
 set -eu
 cd "$(dirname "$0")/.."
 
 TARGET="${1:-benchmarks/test_engine.py benchmarks/test_pipeline_costs.py}"
 OUT="${BENCH_JSON:-BENCH_engine.json}"
 OBS_OUT="${BENCH_OBS_JSON:-BENCH_obs.json}"
+REPLAY_OUT="${BENCH_REPLAY_JSON:-BENCH_replay.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -34,3 +40,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_obs.py \
     -p no:cacheprovider
 
 echo "observability benchmark report written to $OBS_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_replay.py \
+    --benchmark-only \
+    --benchmark-json "$REPLAY_OUT" \
+    -p no:cacheprovider
+
+echo "replay benchmark report written to $REPLAY_OUT"
