@@ -54,14 +54,10 @@ from ..errors import SymbolizeError
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..lifting.translator import lift_traces
-from ..opt.constfold import fold_constants
 from ..opt.dce import eliminate_dead_code
-from ..opt.flagfuse import fuse_flags
-from ..opt.gvn import global_value_numbering
-from ..opt.mem2reg import promote_allocas
+from ..opt.manager import canonicalize_module
 from ..opt.pipeline import OptOptions, optimize_module
 from ..opt.deadargelim import shrink_signatures
-from ..opt.simplifycfg import simplify_cfg
 from ..recompile.link import recompile_ir
 from ..recompile.lower import LowerOptions
 from ..replay import ReplayEngine
@@ -102,16 +98,10 @@ def module_stats(module: Module) -> dict[str, int]:
 def _canonicalize(module: Module) -> None:
     """SSA-ify vcpu registers and fold address arithmetic (the paper's
     "turn virtual CPU registers into SSA-values before instrumentation"
-    plus displacement folding)."""
-    for func in module.functions.values():
-        simplify_cfg(func)
-        promote_allocas(func)
-        fold_constants(func)
-        fuse_flags(func)
-        fold_constants(func)
-        global_value_numbering(func)
-        eliminate_dead_code(func)
-        simplify_cfg(func)
+    plus displacement folding).  Runs under the incremental pass
+    manager, so functions the preceding refinement stage left untouched
+    cost one version comparison instead of a full schedule."""
+    canonicalize_module(module)
 
 
 def wytiwyg_lift(traces: TraceSet,

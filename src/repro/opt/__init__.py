@@ -22,26 +22,42 @@ from .deadargelim import (
 from .dse import eliminate_dead_stores
 from .flagfuse import fuse_flags
 from .gvn import eliminate_redundant_loads, global_value_numbering
-from .inline import inline_call, inline_functions
+from .inline import (
+    inline_call,
+    inline_functions,
+    inline_functions_tracked,
+    inline_would_change,
+)
+from .manager import (
+    PassManager,
+    canonicalize_module,
+    clear_memo,
+    drop_unused_private_functions,
+    memo_enabled,
+    pass_baseline_enabled,
+    run_worklist,
+)
 from .mem2reg import promotable_allocas, promote_allocas
 from .pipeline import (
     OptOptions,
-    drop_unused_private_functions,
     optimize_function,
     optimize_module,
 )
 from .simplifycfg import remove_unreachable, simplify_cfg
 
 __all__ = [
-    "AliasAnalysis", "Dominators", "OptOptions",
-    "analysis_cache_enabled", "cached_analysis", "dominators",
+    "AliasAnalysis", "Dominators", "OptOptions", "PassManager",
+    "analysis_cache_enabled", "cached_analysis", "canonicalize_module",
+    "clear_memo", "dominators",
     "drop_unused_private_functions", "eliminate_dead_code",
     "eliminate_dead_params", "eliminate_dead_results",
     "eliminate_dead_stores", "eliminate_redundant_loads",
     "fold_constants", "fuse_flags", "global_value_numbering", "inline_call",
-    "inline_functions", "optimize_function", "optimize_module",
+    "inline_functions", "inline_functions_tracked", "inline_would_change",
+    "memo_enabled", "optimize_function", "optimize_module",
+    "pass_baseline_enabled",
     "postorder", "predecessors", "promotable_allocas", "promote_allocas",
     "reachable", "reachable_blocks", "remove_unreachable",
-    "shrink_signatures", "simplify_cfg",
+    "run_worklist", "shrink_signatures", "simplify_cfg",
     "use_counts",
 ]

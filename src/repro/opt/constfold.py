@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from ..ir.module import Function
 from ..ir.values import BinOp, Const, ICmp, Instr, Unary, Value
+from .analysis import CFG_ANALYSES
+
+#: Folding replaces and rewrites pure instructions in place; terminators
+#: and the block list are never touched, so cached CFG analyses survive.
+PRESERVES = CFG_ANALYSES
 
 MASK32 = 0xFFFFFFFF
 
@@ -164,6 +169,11 @@ def fold_constants(func: Function) -> bool:
                     mutated = True
                 elif new is not None and new is not instr:
                     replacements[instr] = new
+        if mutated:
+            # In-place rewrites (reassociation, sub->add) change operands
+            # and opcodes without going through the replacement sweep, so
+            # the version-keyed caches must be told explicitly.
+            func.invalidate()
         if not replacements:
             if mutated:
                 changed = True

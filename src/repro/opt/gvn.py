@@ -26,8 +26,14 @@ from ..ir.values import (
     Value,
 )
 from .alias import AliasAnalysis
-from .analysis import dominators
+from .analysis import CFG_ANALYSES, dominators
 from .simplifycfg import remove_unreachable
+
+#: Both passes here delete or substitute pure instructions and loads;
+#: neither adds, removes, or retargets blocks (GVN's entry
+#: ``remove_unreachable`` changes the block count when it fires, which
+#: voids retention on its own), so cached CFG analyses survive.
+PRESERVES = CFG_ANALYSES
 
 _COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor"})
 
@@ -64,7 +70,7 @@ def _value_key(instr: Instr, numbering: dict[Instr, int]):
 
 def global_value_numbering(func: Function) -> bool:
     """Dominator-scoped CSE of pure arithmetic. Returns True if changed."""
-    remove_unreachable(func)
+    pruned = remove_unreachable(func)
     doms = dominators(func)
     numbering: dict[Instr, int] = {}
     next_number = [0]
@@ -92,7 +98,7 @@ def global_value_numbering(func: Function) -> bool:
             work.append((child, dict(scope)))
 
     if not replacements:
-        return False
+        return pruned
 
     def resolve(v: Value) -> Value:
         while isinstance(v, Instr) and v in replacements:

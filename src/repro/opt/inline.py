@@ -30,6 +30,9 @@ from ..ir.values import (
     Value,
 )
 
+#: Inlining splices whole cloned CFGs into callers: nothing is preserved.
+PRESERVES: frozenset = frozenset()
+
 
 def _clone_instr(instr: Instr) -> Instr:
     """Shallow structural clone; operands/blocks fixed up by the caller."""
@@ -213,15 +216,25 @@ def inline_functions(module: Module, max_callee_size: int = 40,
                      always_single_use: bool = True,
                      growth_budget: int = 4000) -> bool:
     """Module-level inlining driver. Returns True if anything changed."""
-    call_counts: dict[str, int] = {}
-    for func in module.functions.values():
-        for instr in func.instructions():
-            if isinstance(instr, Call):
-                call_counts[instr.callee.name] = \
-                    call_counts.get(instr.callee.name, 0) + 1
+    return bool(inline_functions_tracked(
+        module, max_callee_size=max_callee_size,
+        always_single_use=always_single_use,
+        growth_budget=growth_budget))
+
+
+def inline_functions_tracked(module: Module, max_callee_size: int = 40,
+                             always_single_use: bool = True,
+                             growth_budget: int = 4000) -> set[str]:
+    """:func:`inline_functions`, reporting *which* callers changed.
+
+    Returns the names of the functions that actually received inlined
+    code — the only functions the pass manager needs to re-enqueue
+    afterwards (callees are cloned, not mutated).
+    """
+    call_counts = _call_counts(module)
     # Functions whose address is taken cannot be dropped and their call
     # count is unreliable; still inlinable at direct sites.
-    changed = False
+    changed: set[str] = set()
     for func in list(module.functions.values()):
         budget = growth_budget
         again = True
@@ -232,17 +245,12 @@ def inline_functions(module: Module, max_callee_size: int = 40,
                     if not isinstance(instr, Call):
                         continue
                     callee = module.functions.get(instr.callee.name)
-                    if callee is None or callee is func:
-                        continue
-                    if _calls_self(callee):
-                        continue
-                    size = _size_of(callee)
-                    single = call_counts.get(callee.name, 0) == 1
-                    if size <= max_callee_size or \
-                            (always_single_use and single
-                             and size <= growth_budget):
+                    if _inlinable(func, callee, call_counts,
+                                  max_callee_size, always_single_use,
+                                  growth_budget):
                         inline_call(func, instr, callee)
-                        budget -= size
+                        changed.add(func.name)
+                        budget -= _size_of(callee)
                         call_counts[callee.name] = \
                             call_counts.get(callee.name, 1) - 1
                         for inner in callee.instructions():
@@ -250,12 +258,52 @@ def inline_functions(module: Module, max_callee_size: int = 40,
                                 call_counts[inner.callee.name] = \
                                     call_counts.get(inner.callee.name,
                                                     0) + 1
-                        changed = True
                         again = True
                         break
                 if again:
                     break
     return changed
+
+
+def inline_would_change(module: Module, max_callee_size: int = 40,
+                        always_single_use: bool = True,
+                        growth_budget: int = 4000) -> bool:
+    """Dry-run: would :func:`inline_functions` inline anything?
+
+    True iff some direct call site passes the same admission test the
+    real driver applies to its first candidate.  The pass manager uses
+    this to prove a whole module is at fixpoint (no candidate now means
+    the real driver would be a no-op)."""
+    call_counts = _call_counts(module)
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, Call) and _inlinable(
+                    func, module.functions.get(instr.callee.name),
+                    call_counts, max_callee_size, always_single_use,
+                    growth_budget):
+                return True
+    return False
+
+
+def _call_counts(module: Module) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, Call):
+                counts[instr.callee.name] = \
+                    counts.get(instr.callee.name, 0) + 1
+    return counts
+
+
+def _inlinable(func: Function, callee: Function | None,
+               call_counts: dict[str, int], max_callee_size: int,
+               always_single_use: bool, growth_budget: int) -> bool:
+    if callee is None or callee is func or _calls_self(callee):
+        return False
+    size = _size_of(callee)
+    single = call_counts.get(callee.name, 0) == 1
+    return size <= max_callee_size or \
+        (always_single_use and single and size <= growth_budget)
 
 
 def _calls_self(func: Function) -> bool:

@@ -1,0 +1,442 @@
+"""Incremental worklist pass manager.
+
+The LLVM-new-pass-manager analogue for this IR: instead of re-running a
+fixed schedule on every function of every module at every pipeline
+stage, the manager tracks what is already done and skips it.
+
+Three layers of change tracking, cheapest first:
+
+1. **Module snapshot** — after a run in which every function reached
+   fixpoint and inlining had nothing left to do, the manager records
+   ``(name, version)`` for every function.  A later call over an
+   unchanged module returns immediately (the common shape when a
+   refinement stage turned out to be a no-op).
+2. **Version skip** — a function whose
+   :attr:`~repro.ir.module.Function.version` is unchanged since it last
+   reached fixpoint under the same schedule is skipped without looking
+   at its body.
+3. **Cross-stage memo** — keyed on ``(schedule, module context,``
+   :func:`~repro.replay.fingerprint.function_fingerprint```)``: a
+   *fresh object* (a deep copy, a re-lift, another module) whose content
+   matches a known fixpoint is skipped too.  Only fixpoints enter the
+   memo — a function that was still changing when the round budget ran
+   out is never memoized.  The module context folds in the global-
+   variable layout because alias-driven passes consult it.
+
+Each pass is registered with a **preserved-analyses declaration**
+(``PRESERVES`` in its module): when a pass reports a change, the
+declared analyses are migrated across the mutation epoch by
+:func:`repro.opt.analysis.retain_analyses` instead of being recomputed.
+
+After :func:`~repro.opt.inline.inline_functions` the manager re-enqueues
+**only the callers that actually received inlined code** (plus any
+function that had not yet reached fixpoint) — the legacy schedule
+re-optimized the whole module.
+
+``REPRO_PASS_BASELINE=1`` restores the legacy fixed schedule
+(:mod:`repro.opt.pipeline` keeps it verbatim); the worklist engine's
+output is byte-identical to it, which ``tests/opt/test_pass_manager.py``
+asserts differentially.  ``REPRO_OPT_MEMO=0`` disables only the
+cross-stage memo (layers 1–2 still apply), e.g. for cold-path benches.
+
+Observability: per-pass timers/counters keep the legacy
+``opt.pass.<name>`` naming, with the two CFG-simplification slots split
+as ``simplifycfg.entry`` / ``simplifycfg.exit``; the manager itself
+reports ``opt.manager.skipped`` (functions not re-optimized) and
+``opt.manager.requeued`` (functions re-enqueued after inlining).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from weakref import WeakKeyDictionary
+
+from .. import obs
+from ..ir.module import Function, Module
+from ..obs import recorder as _obs_recorder
+from . import (
+    constfold,
+    dce,
+    dse,
+    flagfuse,
+    gvn,
+    inline,
+    mem2reg,
+    simplifycfg,
+)
+from .analysis import current_epoch, retain_analyses
+
+
+def function_fingerprint(func: Function) -> str:
+    """Deferred alias for
+    :func:`repro.replay.fingerprint.function_fingerprint` — importing
+    :mod:`repro.replay` eagerly would close an import cycle through
+    the replay engine's runtime dependencies."""
+    from ..replay.fingerprint import function_fingerprint as fp
+    globals()["function_fingerprint"] = fp
+    return fp(func)
+
+
+def pass_baseline_enabled() -> bool:
+    """``REPRO_PASS_BASELINE=1`` restores the legacy fixed schedule."""
+    return os.environ.get("REPRO_PASS_BASELINE", "") not in ("", "0")
+
+
+def memo_enabled() -> bool:
+    """``REPRO_OPT_MEMO=0`` disables the cross-stage fingerprint memo."""
+    return os.environ.get("REPRO_OPT_MEMO", "1") not in ("0", "false",
+                                                         "off")
+
+
+class FunctionPass:
+    """A named per-function pass with its preserved-analyses contract."""
+
+    __slots__ = ("name", "run", "preserves")
+
+    def __init__(self, name: str, run, preserves: frozenset):
+        self.name = name
+        self.run = run
+        self.preserves = preserves
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+def build_function_pipeline(opts, module: Module) -> list[FunctionPass]:
+    """The standard per-round schedule (mirrors the legacy
+    ``pipeline._function_passes``), with the two ``simplifycfg`` slots
+    distinguished for per-pass accounting."""
+    passes = [
+        FunctionPass("simplifycfg.entry", simplifycfg.simplify_cfg,
+                     simplifycfg.PRESERVES),
+        FunctionPass("mem2reg", mem2reg.promote_allocas,
+                     mem2reg.PRESERVES),
+        FunctionPass("constfold", constfold.fold_constants,
+                     constfold.PRESERVES),
+        FunctionPass("flagfuse", flagfuse.fuse_flags,
+                     flagfuse.PRESERVES),
+    ]
+    if opts.gvn:
+        passes.append(FunctionPass("gvn", gvn.global_value_numbering,
+                                   gvn.PRESERVES))
+    if opts.load_elim:
+        passes.append(FunctionPass(
+            "loadelim",
+            lambda f: gvn.eliminate_redundant_loads(f, module),
+            gvn.PRESERVES))
+    if opts.dse:
+        passes.append(FunctionPass(
+            "dse", lambda f: dse.eliminate_dead_stores(f, module),
+            dse.PRESERVES))
+    passes.append(FunctionPass("dce", dce.eliminate_dead_code,
+                               dce.PRESERVES))
+    passes.append(FunctionPass("simplifycfg.exit",
+                               simplifycfg.simplify_cfg,
+                               simplifycfg.PRESERVES))
+    return passes
+
+
+def build_canonicalize_pipeline(module: Module) -> list[FunctionPass]:
+    """The driver's canonicalization schedule (one round, in order)."""
+    return [
+        FunctionPass("simplifycfg.entry", simplifycfg.simplify_cfg,
+                     simplifycfg.PRESERVES),
+        FunctionPass("mem2reg", mem2reg.promote_allocas,
+                     mem2reg.PRESERVES),
+        FunctionPass("constfold", constfold.fold_constants,
+                     constfold.PRESERVES),
+        FunctionPass("flagfuse", flagfuse.fuse_flags,
+                     flagfuse.PRESERVES),
+        FunctionPass("constfold.late", constfold.fold_constants,
+                     constfold.PRESERVES),
+        FunctionPass("gvn", gvn.global_value_numbering, gvn.PRESERVES),
+        FunctionPass("dce", dce.eliminate_dead_code, dce.PRESERVES),
+        FunctionPass("simplifycfg.exit", simplifycfg.simplify_cfg,
+                     simplifycfg.PRESERVES),
+    ]
+
+
+# -- change-tracking state ----------------------------------------------
+
+#: Cross-stage memo of known fixpoints:
+#: ((schedule key, module context), function fingerprint) -> True.
+#: Bounded LRU; entries are only ever *fixpoints*, so a hit is a proof
+#: that running the schedule again would change nothing.
+_MEMO: "OrderedDict[tuple, bool]" = OrderedDict()
+_MEMO_MAX = 4096
+
+#: func -> {(schedule key, module context) -> version at last fixpoint}.
+_FIXPOINT: "WeakKeyDictionary[Function, dict]" = WeakKeyDictionary()
+
+#: module -> {(schedule key, module context) -> (name, version) snapshot
+#: taken after a fully-converged run (fixpoint everywhere, no inlining
+#: left)}.
+_MODULE_STATE: "WeakKeyDictionary[Module, dict]" = WeakKeyDictionary()
+
+
+def clear_memo() -> None:
+    """Drop all cross-call change-tracking state (tests and benches)."""
+    _MEMO.clear()
+    _FIXPOINT.clear()
+    _MODULE_STATE.clear()
+
+
+def _memo_get(key: tuple) -> bool:
+    hit = _MEMO.get(key, False)
+    if hit:
+        _MEMO.move_to_end(key)
+    return hit
+
+
+def _memo_add(key: tuple) -> None:
+    _MEMO[key] = True
+    _MEMO.move_to_end(key)
+    while len(_MEMO) > _MEMO_MAX:
+        _MEMO.popitem(last=False)
+
+
+def _module_context(module: Module) -> tuple:
+    """The module-level facts a per-function schedule can observe:
+    global-variable layout (alias analysis reads sizes and pinned
+    addresses).  Part of every memo key."""
+    return tuple(sorted(
+        (name, g.size, g.align, g.fixed_addr, g.writable)
+        for name, g in module.globals.items()))
+
+
+_SKIPPED, _FIXED, _UNRESOLVED = range(3)
+
+
+class PassManager:
+    """Run a pass schedule over a module as an incremental worklist."""
+
+    def __init__(self, module: Module, passes: list[FunctionPass],
+                 schedule_key: tuple, rounds: int,
+                 inline_threshold: int | None = None):
+        self.module = module
+        self.passes = passes
+        self.rounds = max(rounds, 1)
+        #: None disables the inline stage entirely.
+        self.inline_threshold = inline_threshold
+        self._token = (schedule_key, _module_context(module))
+        self._rec = _obs_recorder()
+        self._memo_on = memo_enabled()
+        #: Names still short of fixpoint after their last visit.
+        self.unresolved: set[str] = set()
+        #: True when the inline stage reported changed callers.
+        self.inlined = False
+
+    # -- module-level fast path -----------------------------------------
+
+    def _snapshot(self) -> tuple:
+        return tuple((name, f.version)
+                     for name, f in self.module.functions.items())
+
+    def module_at_fixpoint(self) -> bool:
+        """True when a prior fully-converged run of this schedule left
+        the module exactly as it is now."""
+        state = _MODULE_STATE.get(self.module)
+        return state is not None and \
+            state.get(self._token) == self._snapshot()
+
+    def record_module_fixpoint(self) -> None:
+        """Snapshot the module if this run converged completely: every
+        function at fixpoint and (when inlining is on) no admissible
+        inline candidate left.  Callers invoke this after any module
+        passes that run outside the manager (function dropping)."""
+        if self.unresolved:
+            return
+        if self.inline_threshold is not None and inline.inline_would_change(
+                self.module, max_callee_size=self.inline_threshold):
+            return
+        _MODULE_STATE.setdefault(self.module, {})[self._token] = \
+            self._snapshot()
+
+    # -- worklist --------------------------------------------------------
+
+    def run(self) -> None:
+        module = self.module
+        if self.module_at_fixpoint():
+            obs.count("opt.manager.skipped", len(module.functions))
+            return
+        for func in list(module.functions.values()):
+            if self._optimize(func) is _UNRESOLVED:
+                self.unresolved.add(func.name)
+        if self.inline_threshold is None:
+            return
+        changed = self._run_inline()
+        if not changed:
+            return
+        self.inlined = True
+        # Only callers that received code (their bodies are new) and
+        # functions that never reached fixpoint can react to another
+        # round; everything else is provably a no-op.
+        targets = [f for name, f in module.functions.items()
+                   if name in changed or name in self.unresolved]
+        obs.count("opt.manager.requeued", len(targets))
+        self.unresolved.clear()
+        for func in targets:
+            if self._optimize(func) is _UNRESOLVED:
+                self.unresolved.add(func.name)
+
+    def _optimize(self, func: Function) -> int:
+        token = self._token
+        versions = _FIXPOINT.get(func)
+        if versions is not None and versions.get(token) == func.version:
+            obs.count("opt.manager.skipped")
+            return _SKIPPED
+        entry_fp = None
+        if self._memo_on:
+            entry_fp = function_fingerprint(func)
+            if _memo_get((token, entry_fp)):
+                self._record_fixpoint(func)
+                obs.count("opt.manager.skipped")
+                obs.count("opt.manager.memo_hits")
+                return _SKIPPED
+        changed_any = False
+        fixed = False
+        for _ in range(self.rounds):
+            changed = False
+            for p in self.passes:
+                changed |= self._run_pass(p, func)
+            if not changed:
+                fixed = True
+                break
+            changed_any = True
+        if not fixed:
+            return _UNRESOLVED
+        self._record_fixpoint(func)
+        if self._memo_on:
+            fp = function_fingerprint(func) if changed_any else entry_fp
+            _memo_add((token, fp))
+        return _FIXED
+
+    def _record_fixpoint(self, func: Function) -> None:
+        versions = _FIXPOINT.get(func)
+        if versions is None:
+            versions = _FIXPOINT[func] = {}
+        versions[self._token] = func.version
+
+    # -- pass execution --------------------------------------------------
+
+    def _run_pass(self, p: FunctionPass, func: Function) -> bool:
+        prior = current_epoch(func) if p.preserves else None
+        rec = self._rec
+        if rec is None:
+            changed = p.run(func)
+        else:
+            registry = rec.registry
+            before = _ninstrs(func)
+            start = time.perf_counter()
+            changed = p.run(func)
+            registry.timer(f"opt.pass.{p.name}").add(
+                time.perf_counter() - start)
+            registry.count(f"opt.pass.{p.name}.runs")
+            delta = before - _ninstrs(func)
+            if delta:
+                registry.count(f"opt.pass.{p.name}.instrs_removed",
+                               delta)
+        if changed and prior is not None:
+            retain_analyses(func, p.preserves, prior)
+        return changed
+
+    def _run_inline(self) -> set[str]:
+        module = self.module
+        rec = self._rec
+        if rec is None:
+            return inline.inline_functions_tracked(
+                module, max_callee_size=self.inline_threshold)
+        registry = rec.registry
+        before = sum(_ninstrs(f) for f in module.functions.values())
+        start = time.perf_counter()
+        changed = inline.inline_functions_tracked(
+            module, max_callee_size=self.inline_threshold)
+        registry.timer("opt.pass.inline").add(
+            time.perf_counter() - start)
+        registry.count("opt.pass.inline.runs")
+        delta = before - sum(_ninstrs(f)
+                             for f in module.functions.values())
+        if delta:
+            registry.count("opt.pass.inline.instrs_removed", delta)
+        return changed
+
+
+def _ninstrs(func: Function) -> int:
+    return sum(len(b.instrs) for b in func.blocks)
+
+
+# -- entry points --------------------------------------------------------
+
+def run_worklist(module: Module, opts) -> None:
+    """Worklist-optimize ``module`` under ``opts`` (an
+    :class:`~repro.opt.pipeline.OptOptions`); the incremental
+    counterpart of the legacy ``optimize_module`` schedule, including
+    the final unused-function sweep."""
+    manager = PassManager(
+        module, build_function_pipeline(opts, module),
+        ("opt", opts), opts.rounds,
+        inline_threshold=opts.inline_threshold if opts.inline else None)
+    manager.run()
+    drop_unused_private_functions(module)
+    manager.record_module_fixpoint()
+
+
+def canonicalize_module(module: Module) -> None:
+    """The driver's canonicalization stage (SSA-ify vcpu registers,
+    fold address arithmetic) as a managed one-round schedule, so
+    re-canonicalizing an unchanged function after a no-op refinement
+    stage costs one version check.  ``REPRO_PASS_BASELINE=1`` restores
+    the legacy per-function loop."""
+    if pass_baseline_enabled():
+        for func in module.functions.values():
+            simplifycfg.simplify_cfg(func)
+            mem2reg.promote_allocas(func)
+            constfold.fold_constants(func)
+            flagfuse.fuse_flags(func)
+            constfold.fold_constants(func)
+            gvn.global_value_numbering(func)
+            dce.eliminate_dead_code(func)
+            simplifycfg.simplify_cfg(func)
+        return
+    PassManager(module, build_canonicalize_pipeline(module),
+                ("canonicalize",), rounds=1).run()
+
+
+def drop_unused_private_functions(module: Module) -> None:
+    """Remove functions unreachable from the module's roots
+    (post-inlining).
+
+    Roots are the entry function, every address-table target, and every
+    function named by a global initializer; reachability is *transitive*
+    over call/operand references from live functions only, so
+    mutually-recursive dead functions — which keep each other alive
+    under a flat all-references scan — are dropped together.
+    """
+    roots: set[str] = set()
+    if module.entry_name in module.functions:
+        roots.add(module.entry_name)
+    roots.update(name for name in module.address_table.values()
+                 if name in module.functions)
+    for g in module.globals.values():
+        if isinstance(g.init, list):
+            for word in g.init:
+                name = getattr(word, "name", None)
+                if isinstance(name, str) and name in module.functions:
+                    roots.add(name)
+    live: set[str] = set()
+    work = list(roots)
+    while work:
+        name = work.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for instr in module.functions[name].instructions():
+            for op in instr.operands():
+                ref = getattr(op, "name", None)
+                if isinstance(ref, str) and ref not in live \
+                        and ref in module.functions:
+                    work.append(ref)
+    module.functions = {name: f for name, f in module.functions.items()
+                        if name in live}

@@ -11,8 +11,15 @@ from __future__ import annotations
 
 from ..ir.module import Block, Function
 from ..ir.values import Alloca, Const, Instr, Load, Phi, Store, Unary, Value
-from .analysis import dominators
+from .analysis import CFG_ANALYSES, dominators
 from .simplifycfg import remove_unreachable
+
+#: Promotion rewrites loads/stores into phis and SSA uses but never adds,
+#: removes, or retargets a block itself, so cached CFG analyses survive a
+#: change.  The entry ``remove_unreachable`` call is the one exception;
+#: it changes the block count, which voids retention automatically (see
+#: :func:`repro.opt.analysis.retain_analyses`).
+PRESERVES = CFG_ANALYSES
 
 
 def promotable_allocas(func: Function) -> list[Alloca]:
@@ -55,10 +62,10 @@ _EXT_FOR_SIZE = {1: "zext8", 2: "zext16"}
 
 def promote_allocas(func: Function) -> bool:
     """Run mem2reg on all promotable allocas. Returns True if changed."""
-    remove_unreachable(func)
+    changed = remove_unreachable(func)
     allocas = promotable_allocas(func)
     if not allocas:
-        return False
+        return changed
     alloca_set = set(allocas)
     doms = dominators(func)
 

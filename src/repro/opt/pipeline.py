@@ -1,7 +1,12 @@
-"""Pass manager and standard optimization pipelines.
+"""Standard optimization pipelines and the legacy fixed schedule.
 
 ``optimize_module`` is the LLVM ``opt`` analogue used by the MiniC
 compiler personalities and by the recompiler after lifting/symbolization.
+It normally dispatches to the incremental worklist engine in
+:mod:`repro.opt.manager` (function-level change tracking, cross-stage
+memoization); ``REPRO_PASS_BASELINE=1`` selects the legacy fixed
+schedule kept verbatim below.  The two produce byte-identical output —
+``tests/opt/test_pass_manager.py`` holds them to that.
 
 Observability: when a :mod:`repro.obs` recorder is active, every pass
 run records its wall time (timer ``opt.pass.<name>``) and instruction
@@ -22,8 +27,18 @@ from .dse import eliminate_dead_stores
 from .flagfuse import fuse_flags
 from .gvn import eliminate_redundant_loads, global_value_numbering
 from .inline import inline_functions
+from .manager import (
+    drop_unused_private_functions,
+    pass_baseline_enabled,
+    run_worklist,
+)
 from .mem2reg import promote_allocas
 from .simplifycfg import simplify_cfg
+
+__all__ = [
+    "OptOptions", "drop_unused_private_functions", "optimize_function",
+    "optimize_module",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +131,15 @@ def optimize_module(module: Module,
     opts = options or OptOptions()
     if opts.level == 0:
         return
+    if pass_baseline_enabled():
+        _optimize_module_baseline(module, opts)
+        return
+    run_worklist(module, opts)
+
+
+def _optimize_module_baseline(module: Module, opts: OptOptions) -> None:
+    """The pre-worklist fixed schedule: every function every time, and a
+    full-module re-run after any inlining."""
     for func in module.functions.values():
         optimize_function(func, module, opts)
     if opts.inline:
@@ -140,23 +164,3 @@ def optimize_module(module: Module,
             for func in module.functions.values():
                 optimize_function(func, module, opts)
     drop_unused_private_functions(module)
-
-
-def drop_unused_private_functions(module: Module) -> None:
-    """Remove functions that are never referenced (post-inlining)."""
-    referenced: set[str] = {module.entry_name}
-    referenced.update(module.address_table.values())
-    for func in module.functions.values():
-        for instr in func.instructions():
-            for op in instr.operands():
-                name = getattr(op, "name", None)
-                if isinstance(name, str) and name in module.functions:
-                    referenced.add(name)
-    for g in module.globals.values():
-        if isinstance(g.init, list):
-            for word in g.init:
-                name = getattr(word, "name", None)
-                if isinstance(name, str) and name in module.functions:
-                    referenced.add(name)
-    module.functions = {name: f for name, f in module.functions.items()
-                        if name in referenced}

@@ -11,6 +11,11 @@ from ..ir.module import Block, Function
 from ..ir.values import Br, CondBr, Const, Phi, Switch
 from .analysis import predecessors, reachable
 
+#: Preserved-analyses declaration for the pass manager: CFG
+#: simplification exists to mutate control flow, so a change invalidates
+#: every cached CFG analysis.
+PRESERVES: frozenset = frozenset()
+
 
 def remove_unreachable(func: Function) -> bool:
     live = set(reachable(func))

@@ -18,6 +18,11 @@
 # refinement wall time of the optimized replay engine (dedup +
 # fingerprint-skipped validation + jobs=4 fan-out) against the
 # pre-engine baseline sweep, plus the validation-skip hit rate.
+#
+# The optimizer benches run as a fourth pass and emit BENCH_opt.json:
+# fixpoint wall time of the incremental worklist pass manager against
+# the legacy fixed schedule (REPRO_PASS_BASELINE=1) on a
+# duplicated-stage workload, plus skip/requeue rates.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,6 +30,7 @@ TARGET="${1:-benchmarks/test_engine.py benchmarks/test_pipeline_costs.py}"
 OUT="${BENCH_JSON:-BENCH_engine.json}"
 OBS_OUT="${BENCH_OBS_JSON:-BENCH_obs.json}"
 REPLAY_OUT="${BENCH_REPLAY_JSON:-BENCH_replay.json}"
+OPT_OUT="${BENCH_OPT_JSON:-BENCH_opt.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -47,3 +53,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_replay.py \
     -p no:cacheprovider
 
 echo "replay benchmark report written to $REPLAY_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_opt.py \
+    --benchmark-only \
+    --benchmark-json "$OPT_OUT" \
+    -p no:cacheprovider
+
+echo "optimizer benchmark report written to $OPT_OUT"
