@@ -8,7 +8,7 @@ import os
 
 import pytest
 
-from repro.evaluation import ABLATIONS, run_ablation
+from repro.evaluation import run_ablation
 
 _NAMES = ("hmmer", "mcf") if not os.environ.get("REPRO_FULL_EVAL") \
     else ("hmmer", "mcf", "gcc", "sjeng", "bzip2")

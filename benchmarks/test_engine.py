@@ -61,7 +61,7 @@ def test_bench_machine_steps_reference(benchmark, image):
 
 
 def test_bench_interp_compiled(benchmark, traces):
-    module, _, _ = wytiwyg_lift(traces)
+    module, _, _, _ = wytiwyg_lift(traces)
     run_items = traces.inputs[0]
     reference = _median_seconds(
         lambda: Interpreter(module, run_items, compiled=False).run())
@@ -73,7 +73,7 @@ def test_bench_interp_compiled(benchmark, traces):
 
 
 def test_bench_interp_reference(benchmark, traces):
-    module, _, _ = wytiwyg_lift(traces)
+    module, _, _, _ = wytiwyg_lift(traces)
     run_items = traces.inputs[0]
     benchmark(
         lambda: Interpreter(module, run_items, compiled=False).run())

@@ -7,7 +7,7 @@ which toolchain produced the input, while the native series spread out
 
 import pytest
 
-from repro.evaluation import build_figure6, geomean
+from repro.evaluation import build_figure6
 
 from .conftest import selected_workloads
 

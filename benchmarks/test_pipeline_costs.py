@@ -48,7 +48,7 @@ def test_bench_refinement_pipeline(benchmark, traces):
 def test_bench_optimize_and_lower(benchmark, traces):
     import copy
 
-    pristine, _, _ = wytiwyg_lift(traces)
+    pristine, _, _, _ = wytiwyg_lift(traces)
 
     # Each invocation gets its own copy: optimize_module mutates the
     # module in place, so reusing one object across rounds would measure

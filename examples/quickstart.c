@@ -1,0 +1,15 @@
+/* A small, fully-traceable program: every frame byte the code can
+ * reach is exercised by any single input, so the static check passes
+ * even under --strict.
+ *
+ *   python -m repro compile examples/quickstart.c -o quick.img.json
+ *   python -m repro check quick.img.json --input int:5 --strict
+ */
+int scale(int x) { return x * 3 + 1; }
+int main() {
+    int n = read_int();
+    int a = scale(n);
+    int b = scale(a);
+    printf("a=%d b=%d\n", a, b);
+    return 0;
+}

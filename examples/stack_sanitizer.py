@@ -132,7 +132,7 @@ def main() -> None:
           run_binary(image, [8]).stdout.decode().strip())
 
     traces = trace_binary(image.stripped(), [[5]])
-    module, layouts, _notes = wytiwyg_lift(traces)
+    module, layouts, _notes, _report = wytiwyg_lift(traces)
     assert EMUSTACK_NAME not in module.globals, \
         "unsymbolized lifts have no variables to guard"
     guarded = add_red_zones(module)

@@ -5,8 +5,11 @@ Commands mirror the toolchain a downstream user needs:
 * ``compile``   MiniC source -> binary image (JSON container)
 * ``run``       execute a binary image on inputs
 * ``recompile`` WYTIWYG-recompile a binary image (or ``--pipeline
-  binrec`` / ``secondwrite``)
+  binrec`` / ``secondwrite``); ``--check`` arms the static gate
 * ``layout``    print the stack layout WYTIWYG recovers for a binary
+* ``check``     run the static corroboration + sanitizer suite and
+  print the findings (exit 1 on errors; ``--strict`` fails on
+  warnings too)
 * ``eval``      regenerate the paper's tables and figures
 
 Inputs are passed as ``--input int:N bytes:TEXT ...``; a ``/`` item
@@ -21,6 +24,7 @@ writes the full JSON report.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -28,8 +32,9 @@ from . import obs
 from .baselines import binrec_recompile, secondwrite_recompile
 from .binary import BinaryImage
 from .cc import compile_source
-from .core import wytiwyg_recompile
-from .emu import run_binary
+from .core import wytiwyg_lift, wytiwyg_recompile
+from .emu import run_binary, trace_binary
+from .errors import StaticCheckError
 
 
 def _parse_inputs(spec: list[str]) -> list[list]:
@@ -72,7 +77,15 @@ def cmd_recompile(args) -> int:
     image = BinaryImage.from_json(Path(args.image).read_text())
     runs = _parse_inputs(args.input)
     if args.pipeline == "wytiwyg":
-        result = wytiwyg_recompile(image, runs, jobs=args.jobs)
+        try:
+            result = wytiwyg_recompile(image, runs, jobs=args.jobs,
+                                       check=args.check)
+        except StaticCheckError as exc:
+            print(f"static check gate aborted recompilation: {exc}",
+                  file=sys.stderr)
+            if exc.report is not None:
+                print(exc.report.render(), file=sys.stderr)
+            return 1
         recovered = result.recovered
         for note in result.notes:
             print(f"  {note}")
@@ -110,6 +123,24 @@ def cmd_layout(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    image = BinaryImage.from_json(Path(args.image).read_text())
+    runs = _parse_inputs(args.input)
+    traces = trace_binary(image, runs)
+    _module, _layouts, _notes, report = wytiwyg_lift(
+        traces, jobs=args.jobs, static_widen=args.widen)
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"check report written to {args.json}")
+    counts = report.counts()
+    failing = counts["error"]
+    if args.strict:
+        failing += counts["warning"]
+    return 1 if failing else 0
+
+
 def cmd_eval(args) -> int:
     from examples.run_paper_eval import main as eval_main  # pragma: no cover
     return eval_main(["--full"] if args.full else [])
@@ -145,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan replay sweeps out over N worker processes "
                         "(output is byte-identical to --jobs 1)")
+    p.add_argument("--check", nargs="?", const="1", default=None,
+                   metavar="MODE",
+                   help="arm the static check gate: error findings "
+                        "abort before optimization (pass 'strict' to "
+                        "abort on warnings too)")
     p.set_defaults(func=cmd_recompile)
 
     p = sub.add_parser("layout", help="print recovered stack layouts")
@@ -153,6 +189,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan replay sweeps out over N worker processes")
     p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser(
+        "check",
+        help="static corroboration + sanitizer findings for an image")
+    p.add_argument("image")
+    p.add_argument("--input", nargs="*", default=[])
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan replay sweeps out over N worker processes")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on warnings as well as errors")
+    p.add_argument("--widen", action="store_true",
+                   help="apply coverage-gap widening suggestions "
+                        "(REPRO_STATIC_WIDEN) before reporting")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the report as JSON")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("eval", help="regenerate the paper's evaluation")
     p.add_argument("--full", action="store_true")

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 
 from ..binary.image import BinaryImage
 from ..errors import LiftError
-from ..ir.interp import Interpreter
 from ..ir.module import Function, Module
 from ..ir.values import (
     Alloca,
@@ -40,7 +39,7 @@ from ..ir.values import (
     Store,
 )
 from ..isa.disassembler import Disassembler
-from ..isa.instructions import Imm, ImportRef, Instruction, Mem
+from ..isa.instructions import Imm, ImportRef, Instruction
 from ..isa.registers import Reg
 from ..lifting.cfg import _BLOCK_ENDERS, MachineBlock, RecoveredCFG
 from ..lifting.function_recovery import recover_functions
@@ -266,7 +265,7 @@ def split_frames_statically(module: Module,
     from ..core.instrument import (FunctionInstrumentation,
                                    ModuleInstrumentation)
     from ..core.replace import replace_base_pointers
-    from ..core.runtime import ArgAccess, StackVar, TracingRuntime
+    from ..core.runtime import TracingRuntime
     from ..core.signatures import SignaturePlan
 
     report = SplitReport()

@@ -45,12 +45,13 @@ counters and per-sweep timers.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet, trace_binary
-from ..errors import SymbolizeError
+from ..errors import StaticCheckError, SymbolizeError
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..lifting.translator import lift_traces
@@ -61,13 +62,19 @@ from ..opt.deadargelim import shrink_signatures
 from ..recompile.link import recompile_ir
 from ..recompile.lower import LowerOptions
 from ..replay import ReplayEngine
+from ..sanalysis import (
+    CheckReport,
+    analyze_function,
+    corroborate_layouts,
+    sanitize_function,
+)
 from .accuracy import AccuracyReport, evaluate_accuracy
 from .instrument import instrument_module, strip_probes
-from .layout import FrameLayout, build_layouts
+from .layout import FrameLayout, apply_widenings, build_layouts
 from .regsave import apply_register_classification, classify_registers
 from .replace import drop_sp_threading, replace_base_pointers
 from .signatures import build_signatures
-from .sp0fold import fold_module_stack_refs
+from .sp0fold import fold_module_stack_refs, is_lifted_function
 from .varargs import recover_vararg_calls
 
 
@@ -82,6 +89,38 @@ class WytiwygResult:
     #: True if the refined module fell back to the unsymbolized pipeline.
     fallback: bool = False
     notes: list[str] = field(default_factory=list)
+    #: Static corroboration + sanitizer findings (None after fallback).
+    check_report: CheckReport | None = None
+
+
+def _resolve_check(check: bool | str | None) -> bool | str:
+    """Gate mode: False (off), True (errors abort), or ``"strict"``
+    (warnings abort too).  ``None`` defers to ``$REPRO_CHECK``."""
+    if check is None:
+        check = os.environ.get("REPRO_CHECK", "")
+    if isinstance(check, str):
+        low = check.strip().lower()
+        if low == "strict":
+            return "strict"
+        return low not in ("", "0", "false", "off", "no")
+    return bool(check)
+
+
+def _resolve_static_widen(static_widen: bool | None) -> bool:
+    if static_widen is None:
+        return os.environ.get("REPRO_STATIC_WIDEN", "") \
+            not in ("", "0", "false", "off", "no")
+    return bool(static_widen)
+
+
+def _count_findings(findings) -> dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for finding in findings:
+        counts[finding.severity] += 1
+    for severity, n in counts.items():
+        if n:
+            obs.count(f"sanalysis.findings.{severity}", n)
+    return counts
 
 
 def module_stats(module: Module) -> dict[str, int]:
@@ -107,11 +146,19 @@ def _canonicalize(module: Module) -> None:
 def wytiwyg_lift(traces: TraceSet,
                  validate: bool = True,
                  hybrid: bool = False,
-                 jobs: int = 1) -> tuple[Module,
-                                         dict[str, FrameLayout],
-                                         list[str]]:
+                 jobs: int = 1,
+                 static_widen: bool | None = None,
+                 ) -> tuple[Module, dict[str, FrameLayout],
+                            list[str], CheckReport]:
     """Run the refinement pipeline on merged traces; returns the
-    symbolized module, the recovered layouts, and pipeline notes.
+    symbolized module, the recovered layouts, pipeline notes, and the
+    static check report (corroboration + sanitizer findings).
+
+    ``static_widen`` (default: ``$REPRO_STATIC_WIDEN``) applies the
+    corroboration pass's widening suggestions to the recovered layouts
+    *before* symbolization, so statically reachable but untraced frame
+    bytes land inside a recovered variable instead of outside every
+    alloca.
 
     ``hybrid`` enables the paper's §7.2 future-work direction: static
     disassembly extends coverage along untraced branch directions, and
@@ -125,6 +172,8 @@ def wytiwyg_lift(traces: TraceSet,
     identical to a serial run.
     """
     engine = ReplayEngine(traces, jobs=jobs)
+    static_widen = _resolve_static_widen(static_widen)
+    report = CheckReport()
     notes: list[str] = []
     if engine.deduped:
         notes.append(
@@ -203,6 +252,8 @@ def wytiwyg_lift(traces: TraceSet,
         verify_module(module)
 
         layouts = build_layouts(runtime, mi)
+        _static_corroborate(module, layouts, report, notes,
+                            static_widen)
         plan = build_signatures(runtime, mi, module)
         replace_base_pointers(module, mi, layouts, plan, runtime)
         for func in module.functions.values():
@@ -222,9 +273,71 @@ def wytiwyg_lift(traces: TraceSet,
                    validated=validated)
     notes.append(f"symbolize: {nvars} stack variables, "
                  f"{sum(plan.stack_args.values())} stack args")
+
+    # IR sanitizer lints over the symbolized module.
+    with obs.span("stage.sanitize") as sp:
+        lints = []
+        for func in module.functions.values():
+            with obs.span("sanitize.function",
+                          function=func.name) as fsp:
+                found = sanitize_function(func, module)
+                lints.extend(found)
+                if observing:
+                    fsp.set(findings=len(found))
+        report.extend(lints)
+        counts = _count_findings(lints)
+        if observing:
+            sp.set(findings=len(lints), **counts)
+    if report.findings:
+        counts = report.counts()
+        notes.append(
+            f"check: {counts['error']} errors, "
+            f"{counts['warning']} warnings, {counts['info']} infos")
+
     notes.extend(engine.notes)
     module.metadata["pipeline"] = "wytiwyg"
-    return module, layouts, notes
+    return module, layouts, notes, report
+
+
+def _static_corroborate(module: Module,
+                        layouts: dict[str, FrameLayout],
+                        report: CheckReport,
+                        notes: list[str],
+                        static_widen: bool) -> None:
+    """Static frame-access recovery + corroboration against the dynamic
+    layouts, run on the pre-symbolization IR (sp still threaded, so the
+    abstract interpreter can anchor every access at sp0).  Mutates
+    ``layouts`` in place when widening is on."""
+    observing = obs.enabled()
+    with obs.span("stage.sanalysis", widen=static_widen) as sp:
+        accesses = {}
+        for func in module.functions.values():
+            if not is_lifted_function(func):
+                continue
+            with obs.span("sanalysis.function",
+                          function=func.name) as fsp:
+                access_set = analyze_function(func)
+                accesses[func.name] = access_set
+                if observing:
+                    fsp.set(accesses=len(access_set.accesses),
+                            known_offsets=len(access_set.known_offsets))
+        findings, suggestions = corroborate_layouts(accesses, layouts)
+        if static_widen and suggestions:
+            rows = apply_widenings(layouts, suggestions)
+            report.widenings.extend(rows)
+            applied = sum(1 for row in rows if row["applied"])
+            if applied:
+                notes.append(f"sanalysis: widened {applied} frame "
+                             f"region(s) from static evidence")
+                # Re-diff against the repaired layouts so the report
+                # reflects what symbolization will actually use;
+                # resolved gaps drop out, anything left is real.
+                findings, _ = corroborate_layouts(accesses, layouts)
+        report.extend(findings)
+        counts = _count_findings(findings)
+        if observing:
+            sp.set(functions=len(accesses), findings=len(findings),
+                   suggestions=len(suggestions), **counts)
 
 
 def wytiwyg_recompile(image: BinaryImage,
@@ -234,7 +347,9 @@ def wytiwyg_recompile(image: BinaryImage,
                       allow_fallback: bool = True,
                       hybrid: bool = False,
                       traces: TraceSet | None = None,
-                      jobs: int = 1) -> WytiwygResult:
+                      jobs: int = 1,
+                      check: bool | str | None = None,
+                      static_widen: bool | None = None) -> WytiwygResult:
     """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
     recompile.  Falls back to the unsymbolized (BinRec) pipeline if
     symbolization fails functional validation.
@@ -243,8 +358,16 @@ def wytiwyg_recompile(image: BinaryImage,
     an existing or cached trace instead of re-executing the binary.
     ``jobs`` fans validation and bounds replay out over that many
     worker processes; the result is byte-identical to ``jobs=1``.
+
+    ``check`` (default: ``$REPRO_CHECK``) arms the static gate: with a
+    truthy value, ``error``-severity findings abort the pipeline with
+    :class:`~repro.errors.StaticCheckError` *before* the optimizer
+    runs, and warnings are annotated into the result notes; with
+    ``"strict"``, warnings abort too.  ``static_widen`` is forwarded to
+    :func:`wytiwyg_lift`.
     """
     observing = obs.enabled()
+    check = _resolve_check(check)
     with obs.span("pipeline.wytiwyg", hybrid=hybrid) as pipeline_span:
         with obs.span("stage.trace", cached=traces is not None) as sp:
             if traces is None:
@@ -254,8 +377,9 @@ def wytiwyg_recompile(image: BinaryImage,
                        transfers=len(traces.transfers),
                        coverage=len(traces.executed))
         try:
-            module, layouts, notes = wytiwyg_lift(traces, hybrid=hybrid,
-                                                  jobs=jobs)
+            module, layouts, notes, report = wytiwyg_lift(
+                traces, hybrid=hybrid, jobs=jobs,
+                static_widen=static_widen)
             fallback = False
         except SymbolizeError as exc:
             if not allow_fallback:
@@ -264,7 +388,25 @@ def wytiwyg_recompile(image: BinaryImage,
             module = binrec_lift(traces, optimize=False)
             layouts = {}
             notes = [f"fallback to unsymbolized pipeline: {exc}"]
+            report = None
             fallback = True
+
+        if check and report is not None:
+            gating = list(report.errors)
+            if check == "strict":
+                gating.extend(report.warnings)
+            if observing:
+                pipeline_span.set(check="strict" if check == "strict"
+                                  else "on",
+                                  check_gating=len(gating))
+            if gating:
+                raise StaticCheckError(
+                    f"static check gate: {len(gating)} finding(s) "
+                    f"block optimization "
+                    f"({', '.join(sorted({g.kind for g in gating}))})",
+                    report)
+            for finding in report.warnings:
+                notes.append(f"check[warn]: {finding.render()}")
 
         with obs.span("stage.optimize", enabled=optimize) as sp:
             before = module_stats(module) if observing else None
@@ -297,4 +439,4 @@ def wytiwyg_recompile(image: BinaryImage,
                     accuracy_recall=accuracy.recall,
                     accuracy_counts=dict(accuracy.counts))
     return WytiwygResult(module, recovered, layouts, accuracy,
-                         fallback, notes)
+                         fallback, notes, check_report=report)

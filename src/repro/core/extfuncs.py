@@ -23,7 +23,7 @@ Argument positions are 0-based; ``RET`` denotes the return value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Marker for "the return value" in constraint argument positions.
 RET = -1

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .instrument import ModuleInstrumentation
-from .runtime import StackVar, TracingRuntime
+from .runtime import TracingRuntime
 
 
 @dataclass
@@ -36,7 +36,11 @@ class FrameVariable:
 
     @property
     def name(self) -> str:
-        return f"sv_{abs(self.start)}"
+        # Encode the offset's sign: frames can recover variables at
+        # symmetric offsets (a local at sp0-8 and a stack arg at sp0+8),
+        # and ``sv_8`` for both would collide in the symbolized IR.
+        sign = "m" if self.start < 0 else "p"
+        return f"sv_{sign}{abs(self.start)}"
 
 
 @dataclass
@@ -183,3 +187,49 @@ def build_layouts(runtime: TracingRuntime,
         name: build_frame_layout(name, fi.refs, runtime)
         for name, fi in mi.functions.items()
     }
+
+
+def apply_widenings(layouts: dict[str, FrameLayout],
+                    suggestions) -> list[dict]:
+    """Grow recovered variables to cover statically reachable regions
+    the traces missed (``REPRO_STATIC_WIDEN=1``).
+
+    Each suggestion (:class:`repro.sanalysis.WideningSuggestion`) names
+    a ``[start, end)`` byte region in one function's frame.  Every
+    variable overlapping the region is stretched over it and the result
+    re-merged to a fixed point, so the region becomes one variable; a
+    region no variable touches gains a fresh (ref-less) variable.
+    Widening only ever grows coverage — traced accesses stay inside
+    their (now larger) variable — so it trades optimization precision
+    for soundness, never correctness on traced inputs.
+
+    Returns one ``{"func", "start", "end", "applied"}`` row per
+    suggestion for the check report (``applied`` is False when the
+    layout already covered the region).
+    """
+    rows: list[dict] = []
+    for sug in suggestions:
+        layout = layouts.get(sug.func)
+        row = {"func": sug.func, "start": sug.start, "end": sug.end,
+               "applied": False}
+        rows.append(row)
+        if layout is None or sug.end <= sug.start:
+            continue
+        overlapping = [v for v in layout.variables
+                       if v.start < sug.end and sug.start < v.end]
+        # "Already covered" means one variable spans the whole region.
+        if any(v.start <= sug.start and sug.end <= v.end
+               for v in overlapping):
+            continue
+        row["applied"] = True
+        if overlapping:
+            anchor = overlapping[0]
+            anchor.start = min(anchor.start, sug.start)
+            anchor.end = max(anchor.end, sug.end)
+        else:
+            layout.variables.append(FrameVariable(sug.start, sug.end))
+        layout.variables = _merge_to_fixpoint(layout.variables, [])
+        layout.ref_to_var = {rid: var for var in layout.variables
+                             for rid in var.ref_ids}
+        layout.variables.sort(key=lambda v: v.start)
+    return rows

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from ..ir.module import Function, Module
 from ..ir.values import BinOp, Const, Instr, Phi, Value
-from ..lifting.translator import REG_ORDER
 
 
 def is_lifted_function(func: Function) -> bool:

@@ -25,7 +25,7 @@ from .blocks import EXIT_SENTINEL, BlockCache, shared_block_cache
 from .cpu import CPU, MASK32, signed32
 from .costs import DEFAULT_COSTS, CostModel
 from .libc import ExitProgram, LibC, StackArgs
-from .memory import Memory, make_memory
+from .memory import make_memory
 
 __all__ = ["ControlSink", "EXIT_SENTINEL", "Machine", "RunResult",
            "run_binary"]

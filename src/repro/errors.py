@@ -54,6 +54,19 @@ class SymbolizeError(ReproError):
     """Raised when stack symbolization cannot be completed."""
 
 
+class StaticCheckError(ReproError):
+    """Raised when the static corroboration gate (``REPRO_CHECK``)
+    refuses to hand a module to the optimizer.
+
+    Carries the :class:`repro.sanalysis.CheckReport` whose findings
+    tripped the gate as :attr:`report`.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 class LowerError(ReproError):
     """Raised when IR cannot be lowered back to machine code."""
 

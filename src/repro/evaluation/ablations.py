@@ -96,7 +96,7 @@ def run_ablation(workload_name: str, compiler: str = "gcc12",
 
     traces = trace_binary(image.stripped(), inputs)
     for name in ABLATIONS:
-        module, _layouts, _notes = wytiwyg_lift(traces)
+        module, _layouts, _notes, _report = wytiwyg_lift(traces)
         _optimize(module,
                   flag_fusion=(name != "no-flag-fusion"),
                   dae=(name != "no-dae"))

@@ -31,7 +31,7 @@ from typing import Callable, Protocol
 
 from ..binary.image import STACK_TOP
 from ..errors import InterpError
-from .module import Function, GlobalVar, Module
+from .module import Function, Module
 from .values import (
     Alloca,
     BinOp,

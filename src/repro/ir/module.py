@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import IRError
-from .values import Instr, Param, Phi, Value
+from .values import Instr, Param, Phi
 
 
 @dataclass

@@ -38,13 +38,21 @@ def verify_function(func: Function, module: Module | None = None) -> None:
     for block in func.blocks:
         if not block.is_terminated:
             raise IRError(f"{func.name}/{block.name}: missing terminator")
+        seen_non_phi = False
         for i, instr in enumerate(block.instrs):
             if instr.is_terminator and i != len(block.instrs) - 1:
                 raise IRError(
                     f"{func.name}/{block.name}: terminator mid-block")
-            if isinstance(instr, Phi) and i > len(block.phis()) - 1:
-                raise IRError(
-                    f"{func.name}/{block.name}: phi below non-phi")
+            if isinstance(instr, Phi):
+                # Phis must form a contiguous leading run; comparing
+                # positions against the phi *count* would miss a phi
+                # sandwiched between non-phis once later phis pad the
+                # count, so track the first non-phi explicitly.
+                if seen_non_phi:
+                    raise IRError(
+                        f"{func.name}/{block.name}: phi below non-phi")
+            else:
+                seen_non_phi = True
             defined.add(instr)
 
     preds = func.predecessors()

@@ -50,6 +50,10 @@ class RecoveredCFG:
     #: Observed indirect jump targets: jump-site address -> target set.
     jump_targets: dict[int, set[int]] = field(default_factory=dict)
     entry: int = 0
+    #: Instruction addresses added by static coverage extension (empty
+    #: without ``static_extend``); blocks rooted here carry no dynamic
+    #: evidence, which downstream analyses report as provenance.
+    static_addrs: set[int] = field(default_factory=set)
 
     def block_at(self, addr: int) -> MachineBlock:
         try:
@@ -96,12 +100,15 @@ def recover_cfg(traces: TraceSet,
         elif t.kind == "import":
             leaders.add(t.dst)
 
+    static_addrs: set[int] = set()
     if static_extend:
-        _extend_statically(image, disasm, executed, leaders, jump_edges,
-                           call_edges)
+        static_addrs = _extend_statically(image, disasm, executed,
+                                          leaders, jump_edges,
+                                          call_edges)
 
     # Split on leaders: walk each leader forward through executed code.
-    cfg = RecoveredCFG(image, entry=image.entry)
+    cfg = RecoveredCFG(image, entry=image.entry,
+                       static_addrs=static_addrs)
     for leader in sorted(leaders):
         if leader not in executed or leader in cfg.blocks:
             continue
@@ -163,17 +170,18 @@ def _is_indirect(instr: Instruction) -> bool:
 
 def _extend_statically(image, disasm: Disassembler, executed: set[int],
                        leaders: set[int], jump_edges: dict,
-                       call_edges: dict) -> None:
+                       call_edges: dict) -> set[int]:
     """Grow coverage along statically decodable, untraced paths.
 
     Starting from the untraced sides of traced conditional branches,
     decode forward; direct branch/call targets join the worklist.
     Indirect control flow stops growth (its targets stay
     trace-only, keeping the dynamic discipline where statics cannot
-    help).
+    help).  Returns the set of instruction addresses it added.
     """
     from ..isa.instructions import Imm, ImportRef
 
+    added: set[int] = set()
     work: list[int] = []
 
     def want(addr: int) -> None:
@@ -207,6 +215,7 @@ def _extend_statically(image, disasm: Disassembler, executed: set[int],
             budget -= 1
             instr = disasm.at(addr)
             executed.add(addr)
+            added.add(addr)
             nxt = addr + instr.size
             if instr.mnemonic == "jcc":
                 target = instr.operands[0].value
@@ -241,3 +250,4 @@ def _extend_statically(image, disasm: Disassembler, executed: set[int],
                 want(nxt)
                 break
             addr = nxt
+    return added

@@ -22,7 +22,7 @@ from ..emu.tracer import TraceSet
 from ..errors import LiftError
 from ..ir.builder import Builder
 from ..ir.module import Block, Function, GlobalVar, Module
-from ..ir.values import Const, GlobalRef, Result, Value
+from ..ir.values import Const, GlobalRef, Value
 from ..isa.instructions import Imm, ImportRef, Instruction, Mem
 from ..isa.registers import Reg
 from .cfg import RecoveredCFG, recover_cfg
@@ -86,6 +86,13 @@ class FunctionTranslator:
 
         for addr in sorted(self.rfunc.blocks):
             self._translate_block(addr)
+        # Provenance for downstream diagnostics: blocks whose machine
+        # code came from static coverage extension, not a trace.
+        static = sorted(self.ir_blocks[a].name
+                        for a in self.rfunc.blocks
+                        if a in self.cfg.static_addrs)
+        if static:
+            self.func.meta["static_blocks"] = tuple(static)
         return self.func
 
     def _trap_block(self) -> Block:

@@ -4,9 +4,14 @@ Structured tracing spans, a metrics registry (counters, gauges,
 histograms, timers, profiles), and report generation, threaded through
 every pipeline layer:
 
-* the **driver** wraps its eight stages (trace -> lift -> varargs ->
-  regsave -> canonicalize -> bounds -> optimize -> recompile) in named
-  spans carrying wall time, IR size deltas, and verifier status;
+* the **driver** wraps its stages (trace -> lift -> varargs ->
+  regsave -> canonicalize -> bounds -> sanitize -> optimize ->
+  recompile) in named spans carrying wall time, IR size deltas, and
+  verifier status;
+* the **static corroborator** (``repro.sanalysis``) counts findings by
+  severity (``sanalysis.findings.{error,warning,info}``) and wraps each
+  analyzed function in ``sanalysis.function`` / ``sanitize.function``
+  spans under ``stage.sanalysis`` / ``stage.sanitize``;
 * the **emulator** reports block-cache hits/misses/evictions,
   instructions retired, memory fast/slow-path counts, and a hot-block
   profile;

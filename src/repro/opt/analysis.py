@@ -39,7 +39,8 @@ _CACHE_ENABLED = os.environ.get("REPRO_ANALYSIS_CACHE", "1") \
 #: non-terminator instructions — which is what makes the selective
 #: invalidation of :func:`retain_analyses` sound for passes that rewrite
 #: instructions without touching control flow.
-CFG_ANALYSES = frozenset({"dominators", "predecessors", "reachable"})
+CFG_ANALYSES = frozenset({"dominators", "predecessors", "reachable",
+                          "loop_headers"})
 
 #: func -> (epoch, {analysis name -> result}); weak so retired modules
 #: free their analyses.
@@ -132,6 +133,26 @@ def predecessors(func: Function) -> dict[Block, list[Block]]:
 def reachable(func: Function) -> list[Block]:
     """Cached entry-reachable block list (do not mutate the result)."""
     return cached_analysis(func, "reachable", reachable_blocks)
+
+
+def loop_headers(func: Function) -> frozenset[Block]:
+    """Cached natural-loop headers: blocks with an incoming back edge
+    (an edge from a block they dominate).  The static stack-offset
+    interpreter widens phi joins exactly at these blocks."""
+    return cached_analysis(func, "loop_headers", _loop_headers)
+
+
+def _loop_headers(func: Function) -> frozenset[Block]:
+    doms = dominators(func)
+    preds = predecessors(func)
+    in_cfg = set(doms.rpo)
+    headers = set()
+    for block in doms.rpo:
+        for pred in preds[block]:
+            if pred in in_cfg and doms.dominates(block, pred):
+                headers.add(block)
+                break
+    return frozenset(headers)
 
 
 def reachable_blocks(func: Function) -> list[Block]:

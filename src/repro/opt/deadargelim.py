@@ -12,7 +12,7 @@ address-taken) are left untouched.
 from __future__ import annotations
 
 from ..ir.module import Function, Module
-from ..ir.values import Call, CallInd, Const, FuncRef, Instr, Param, \
+from ..ir.values import Call, CallInd, FuncRef, Instr, Param, \
     Result, Ret
 from .analysis import CFG_ANALYSES
 from .dce import eliminate_dead_code

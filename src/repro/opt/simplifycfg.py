@@ -7,8 +7,8 @@ the rest of the pipeline (and the lowerer) working on small CFGs.
 
 from __future__ import annotations
 
-from ..ir.module import Block, Function
-from ..ir.values import Br, CondBr, Const, Phi, Switch
+from ..ir.module import Function
+from ..ir.values import Br, CondBr, Const, Switch
 from .analysis import predecessors, reachable
 
 #: Preserved-analyses declaration for the pass manager: CFG

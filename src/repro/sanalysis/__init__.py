@@ -1,0 +1,45 @@
+"""repro.sanalysis — the static leg of layout recovery.
+
+WYTIWYG's dynamic recovery is exact for traced paths and blind past
+them (paper §4.2, §6).  This package adds the trust boundary between
+tracing and recompilation:
+
+* :mod:`.absint` — VSA-lite abstract interpretation of sp0-relative
+  offsets over the pre-symbolization IR (interval domain, widening at
+  loop headers, memoized in the versioned CFG-analysis cache);
+* :mod:`.corroborate` — diffs the static access set against the
+  dynamically recovered :class:`~repro.core.layout.FrameLayout`:
+  boundary-straddling accesses are ``unsound-split`` errors, statically
+  reachable but untraced bytes are ``coverage-gap`` warnings with
+  widening suggestions (`REPRO_STATIC_WIDEN=1` applies them);
+* :mod:`.sanitize` — flow-sensitive lints over the symbolized IR
+  (uninitialized reads, constant-offset out-of-bounds accesses,
+  escaped frame pointers cross-checked against alias analysis);
+* :mod:`.report` — :class:`Finding` / :class:`CheckReport`, consumed by
+  the pipeline gate (``REPRO_CHECK=1`` / ``--check``), the ``python -m
+  repro check`` subcommand, and the observability export
+  (``sanalysis.findings.{error,warning}`` counters, per-function
+  spans).
+"""
+
+from .absint import (
+    AbsVal,
+    FrameAccessSet,
+    StaticAccess,
+    analyze_function,
+    analyze_module,
+)
+from .corroborate import (
+    WideningSuggestion,
+    corroborate_function,
+    corroborate_layouts,
+)
+from .report import CheckReport, Finding
+from .sanitize import sanitize_function, sanitize_module
+
+__all__ = [
+    "AbsVal", "CheckReport", "Finding", "FrameAccessSet",
+    "StaticAccess", "WideningSuggestion", "analyze_function",
+    "analyze_module", "corroborate_function", "corroborate_layouts",
+    "sanitize_function", "sanitize_module",
+]

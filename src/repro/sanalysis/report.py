@@ -1,0 +1,127 @@
+"""Findings and the structured check report.
+
+Every static-analysis result — corroboration verdicts and sanitizer
+lints alike — is a :class:`Finding` with a severity, a kind, the
+function it lives in, the frame offsets involved, and free-form
+provenance (which pass produced it, from what evidence).  A
+:class:`CheckReport` aggregates them for the pipeline gate, the
+``python -m repro check`` subcommand, and the observability export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SEVERITIES = ("error", "warning", "info")
+
+#: Corroboration kinds (static vs dynamic layout diff).
+UNSOUND_SPLIT = "unsound-split"
+COVERAGE_GAP = "coverage-gap"
+#: Sanitizer kinds (flow-sensitive lints over symbolized IR).
+UNINIT_READ = "uninit-read"
+OOB_ACCESS = "oob-access"
+ESCAPED_FRAME_POINTER = "escaped-frame-pointer"
+ALIAS_DIVERGENCE = "alias-divergence"
+
+KINDS = (UNSOUND_SPLIT, COVERAGE_GAP, UNINIT_READ, OOB_ACCESS,
+         ESCAPED_FRAME_POINTER, ALIAS_DIVERGENCE)
+
+
+@dataclass
+class Finding:
+    """One static-analysis finding."""
+
+    severity: str
+    kind: str
+    func: str
+    message: str
+    #: sp0-relative byte offset the finding anchors to (layout findings)
+    #: or alloca-relative offset (sanitizer findings); None when the
+    #: finding is not offset-shaped.
+    offset: int | None = None
+    width: int | None = None
+    #: Evidence trail: which pass, what static/dynamic ranges, whether
+    #: the access sits on a traced or statically-extended path, ...
+    provenance: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"bad severity {self.severity!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"bad finding kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        doc: dict = {"severity": self.severity, "kind": self.kind,
+                     "func": self.func, "message": self.message}
+        if self.offset is not None:
+            doc["offset"] = self.offset
+        if self.width is not None:
+            doc["width"] = self.width
+        if self.provenance:
+            doc["provenance"] = dict(self.provenance)
+        return doc
+
+    def render(self) -> str:
+        where = self.func
+        if self.offset is not None:
+            where += f" @ {self.offset:+d}"
+            if self.width is not None:
+                where += f"..{self.offset + self.width:+d}"
+        return f"{self.severity:7s} {self.kind:22s} {where}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """All findings of one pipeline run, ordered by discovery."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Widenings suggested by the corroboration pass, serialized as
+    #: ``{"func", "start", "end", "applied"}`` rows.
+    widenings: list[dict] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> Finding:
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def infos(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "info"]
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        out = {s: 0 for s in SEVERITIES}
+        for f in self.findings:
+            out[f.severity] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {"findings": [f.to_dict() for f in self.findings],
+                "widenings": [dict(w) for w in self.widenings],
+                "counts": self.counts()}
+
+    def render(self) -> str:
+        """Human-readable report for the ``check`` subcommand."""
+        lines = [f.render() for f in self.findings]
+        counts = self.counts()
+        lines.append(
+            f"sanalysis: {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info")
+        if self.widenings:
+            applied = sum(1 for w in self.widenings if w.get("applied"))
+            lines.append(
+                f"sanalysis: {len(self.widenings)} widening "
+                f"suggestion(s), {applied} applied")
+        return "\n".join(lines)

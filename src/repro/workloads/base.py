@@ -10,7 +10,7 @@ datasets for both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from ..binary.image import BinaryImage

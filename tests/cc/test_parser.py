@@ -4,7 +4,7 @@ import pytest
 
 from repro.cc import parse
 from repro.cc import ast_nodes as ast
-from repro.cc.ctypes import ArrayType, FuncType, IntType, PtrType, \
+from repro.cc.ctypes import ArrayType, FuncType, PtrType, \
     StructType
 from repro.errors import CompileError
 

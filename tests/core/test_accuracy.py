@@ -76,3 +76,42 @@ def test_merge():
     a.merge(b)
     assert a.total_objects == 2
     assert a.counts["matched"] == 1 and a.counts["oversized"] == 1
+
+
+def test_empty_ground_truth_frame():
+    # A frame with no objects contributes nothing — and recall must not
+    # divide by zero.
+    r = classify([], [(-8, -4)])
+    assert r.total_objects == 0
+    assert r.recall == 0.0
+    assert r.total_recovered == 1
+    assert r.precision == 0.0
+    assert all(v == 0.0 for v in r.ratios().values())
+
+
+def test_zero_recovered_variables():
+    # Nothing recovered: every object is missed, precision defined as 0.
+    r = classify([StackObject("x", -8, 4), StackObject("y", -16, 8)], [])
+    assert r.counts["missed"] == 2
+    assert r.precision == 0.0 and r.recall == 0.0
+
+
+def test_empty_report_has_no_zero_division():
+    r = classify([], [])
+    assert r.precision == 0.0 and r.recall == 0.0
+    assert r.ratios() == {c: 0.0 for c in r.counts}
+
+
+def test_exact_boundary_adjacency_is_missed():
+    # A variable ending exactly where the object starts (and one
+    # starting exactly where it ends) shares no byte with it.
+    r = classify([StackObject("x", -8, 4)], [(-12, -8), (-4, 0)])
+    assert r.counts["missed"] == 1
+
+
+def test_exact_match_beats_covering_variable():
+    # When one recovered variable matches exactly and another merely
+    # covers, the object counts as matched, not oversized.
+    r = classify([StackObject("x", -8, 4)], [(-8, -4), (-16, 0)])
+    assert r.counts["matched"] == 1
+    assert r.counts["oversized"] == 0

@@ -78,3 +78,35 @@ def test_hybrid_on_larger_program():
     image = compile_source(FEATURE_SOURCE, "gcc12", "3", "t")
     result = wytiwyg_recompile(image, [[]], hybrid=True)
     assert run_binary(result.recovered).stdout == FEATURE_STDOUT
+
+
+def test_hybrid_tags_static_blocks_for_provenance(image):
+    # Statically-extended code carries no dynamic evidence; the lifted
+    # function records which blocks came from static extension so
+    # static-analysis findings can report their provenance.
+    from repro.emu import trace_binary
+    from repro.core.driver import wytiwyg_lift
+    from repro.lifting.cfg import recover_cfg
+
+    traces = trace_binary(image.stripped(), [[0, 7]])
+    cfg = recover_cfg(traces, static_extend=True)
+    assert cfg.static_addrs, "extension added no code"
+
+    module, _layouts, _notes, _report = wytiwyg_lift(traces,
+                                                     hybrid=True)
+    tagged = [f for f in module.functions.values()
+              if f.meta.get("static_blocks")]
+    assert tagged, "no lifted function recorded static blocks"
+    for func in tagged:
+        names = {b.name for b in func.blocks}
+        assert set(func.meta["static_blocks"]) <= names
+
+
+def test_plain_lift_has_no_static_blocks(image):
+    from repro.emu import trace_binary
+    from repro.core.driver import wytiwyg_lift
+
+    traces = trace_binary(image.stripped(), [[0, 7]])
+    module, _layouts, _notes, _report = wytiwyg_lift(traces)
+    assert not any(f.meta.get("static_blocks")
+                   for f in module.functions.values())

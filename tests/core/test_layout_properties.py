@@ -2,7 +2,7 @@
 
 from hypothesis import given, strategies as st
 
-from repro.core.layout import build_frame_layout
+from repro.core.layout import FrameVariable, build_frame_layout
 from repro.core.runtime import StackVar, TracingRuntime
 
 
@@ -79,3 +79,21 @@ def test_stackvar_touch_is_monotone(touches):
         assert b <= a
     for a, b in zip(highs, highs[1:]):
         assert b >= a
+
+
+def test_symmetric_offsets_get_distinct_names():
+    # A local at sp0-8 and a stack arg at sp0+8 must not both be "sv_8":
+    # symbolization names allocas after the variable, and a collision
+    # silently merges two distinct objects.
+    below = FrameVariable(-8, -4)
+    above = FrameVariable(8, 12)
+    assert below.name != above.name
+    assert below.name == "sv_m8"
+    assert above.name == "sv_p8"
+
+
+def test_variable_names_unique_across_frame():
+    variables = [FrameVariable(s, s + 4)
+                 for s in (-16, -8, -4, 0, 4, 8, 16)]
+    names = [v.name for v in variables]
+    assert len(set(names)) == len(names)

@@ -1,10 +1,9 @@
 """The WYTIWYG refinements, stage by stage (paper §4-§5)."""
 
-import pytest
 
 from repro.cc import compile_source
 from repro.emu import run_binary, trace_binary
-from repro.ir import Interpreter, run_module, verify_module
+from repro.ir import run_module, verify_module
 from repro.lifting import lift_traces
 from repro.core import (
     apply_register_classification,

@@ -4,7 +4,7 @@ links, address map, constraints (paper §4.2)."""
 from types import SimpleNamespace
 
 from repro.core.instrument import _probe
-from repro.core.runtime import ArgAccess, PointerInfo, StackVar, \
+from repro.core.runtime import PointerInfo, StackVar, \
     TracingRuntime
 
 

@@ -2,7 +2,7 @@
 
 from repro.cc import compile_source
 from repro.core import recover_vararg_calls
-from repro.emu import run_binary, trace_binary
+from repro.emu import trace_binary
 from repro.ir import run_module
 from repro.ir.values import CallExt
 from repro.lifting import lift_traces

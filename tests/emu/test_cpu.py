@@ -3,7 +3,7 @@
 import pytest
 
 from repro.emu.cpu import CPU, Flags, signed32
-from repro.isa.registers import AH, AL, AX, EAX, reg
+from repro.isa.registers import AH, AL, AX, EAX
 
 
 def test_signed32():

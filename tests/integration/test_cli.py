@@ -1,6 +1,5 @@
 """The ``python -m repro`` command-line interface."""
 
-import sys
 
 import pytest
 
@@ -74,3 +73,64 @@ def test_bad_input_spec_rejected(source_file, tmp_path):
     main(["compile", str(source_file), "-o", str(image)])
     with pytest.raises(SystemExit):
         main(["run", str(image), "--input", "float:1"])
+
+
+UNDERTRACE = r"""
+int main() {
+    int buf[16];
+    int i;
+    int n;
+    n = read_int();
+    for (i = 0; i < n; i++) buf[i] = i * 7;
+    int s = 0;
+    for (i = 0; i < n; i++) s += buf[i];
+    printf("s=%d\n", s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def undertrace_file(tmp_path):
+    path = tmp_path / "under.c"
+    path.write_text(UNDERTRACE)
+    return path
+
+
+def test_check_command_reports_coverage_gap(undertrace_file, tmp_path,
+                                            capsys):
+    image = tmp_path / "under.img.json"
+    report_json = tmp_path / "check.json"
+    main(["compile", str(undertrace_file), "-o", str(image)])
+    # Warnings alone exit 0 by default, 1 under --strict.
+    assert main(["check", str(image), "--input", "int:3",
+                 "--json", str(report_json)]) == 0
+    out = capsys.readouterr().out
+    assert "coverage-gap" in out
+    assert "warning" in out
+    import json as _json
+    doc = _json.loads(report_json.read_text())
+    assert doc["counts"]["warning"] >= 1
+    assert main(["check", str(image), "--input", "int:3",
+                 "--strict"]) == 1
+
+
+def test_check_command_clean_program_exits_zero(source_file, tmp_path,
+                                                capsys):
+    image = tmp_path / "prog.img.json"
+    main(["compile", str(source_file), "-o", str(image)])
+    assert main(["check", str(image), "--input", "int:5",
+                 "--strict"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_recompile_check_strict_aborts(undertrace_file, tmp_path,
+                                       capsys):
+    image = tmp_path / "under.img.json"
+    recovered = tmp_path / "rec.img.json"
+    main(["compile", str(undertrace_file), "-o", str(image)])
+    assert main(["recompile", str(image), "-o", str(recovered),
+                 "--input", "int:3", "--check", "strict"]) == 1
+    err = capsys.readouterr().err
+    assert "static check gate" in err
+    assert not recovered.exists()

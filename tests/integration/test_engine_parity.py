@@ -45,8 +45,8 @@ def test_merged_trace_sets_equal(traced_pair):
 
 def test_recovered_layouts_equal(traced_pair):
     blocks, steps = traced_pair
-    _, layouts_blocks, _ = wytiwyg_lift(blocks)
-    _, layouts_steps, _ = wytiwyg_lift(steps)
+    _, layouts_blocks, _, _ = wytiwyg_lift(blocks)
+    _, layouts_steps, _, _ = wytiwyg_lift(steps)
     assert layouts_blocks == layouts_steps
 
 
@@ -57,9 +57,9 @@ def test_compiled_interpreter_layouts_match_reference(monkeypatch):
     image = workload.compile("gcc12", "3").stripped()
     traces = trace_binary(image, workload.inputs())
     monkeypatch.setenv("REPRO_IR_COMPILED", "1")
-    module_c, layouts_c, notes_c = wytiwyg_lift(traces)
+    module_c, layouts_c, notes_c, _ = wytiwyg_lift(traces)
     monkeypatch.setenv("REPRO_IR_COMPILED", "0")
-    module_r, layouts_r, notes_r = wytiwyg_lift(traces)
+    module_r, layouts_r, notes_r, _ = wytiwyg_lift(traces)
     assert layouts_c == layouts_r
     assert notes_c == notes_r
     # And the refined modules behave identically on the traced inputs.

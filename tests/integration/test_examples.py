@@ -1,10 +1,7 @@
 """Every example script must run to completion (they self-assert)."""
 
 import runpy
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 

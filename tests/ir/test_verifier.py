@@ -71,6 +71,72 @@ def test_phi_preds_must_match():
         verify_function(f)
 
 
+def test_phi_below_non_phi_rejected():
+    f = Function("f", ["x"])
+    b = Builder(f)
+    e = f.add_block("entry")
+    t = f.add_block("t")
+    b.position(e)
+    b.br(t)
+    b.position(t)
+    add = b.add(f.params[0], Const(1))
+    b.ret([add])
+    phi = Phi([(e, Const(1))])
+    phi.block = t
+    t.instrs.insert(1, phi)  # after the add: not a leading run
+    with pytest.raises(IRError, match="phi below non-phi"):
+        verify_function(f)
+
+
+def test_phi_sandwiched_between_later_phis_rejected():
+    # Regression: [phi, op, phi, phi] — a position-vs-phi-count check
+    # lets the first out-of-place phi slip through because the later
+    # phis pad the count.
+    f = Function("f", ["x"])
+    b = Builder(f)
+    e = f.add_block("entry")
+    t = f.add_block("t")
+    b.position(e)
+    b.br(t)
+    b.position(t)
+    add = b.add(f.params[0], Const(1))
+    b.ret([add])
+    phis = [Phi([(e, Const(n))]) for n in range(3)]
+    for phi in phis:
+        phi.block = t
+    t.instrs.insert(0, phis[0])
+    t.instrs.insert(2, phis[1])  # below the add
+    t.instrs.insert(3, phis[2])
+    with pytest.raises(IRError, match="phi below non-phi"):
+        verify_function(f)
+
+
+def test_leading_phi_run_accepted():
+    f = Function("f", ["x"])
+    b = Builder(f)
+    e = f.add_block("entry")
+    t = f.add_block("t")
+    b.position(e)
+    b.br(t)
+    b.position(t)
+    b.ret([f.params[0]])
+    phis = [Phi([(e, Const(n))]) for n in range(2)]
+    for i, phi in enumerate(phis):
+        phi.block = t
+        t.instrs.insert(i, phi)
+    verify_function(f)
+
+
+def test_terminator_mid_block_rejected():
+    f = Function("f", [])
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    b.ret([])
+    b.block.instrs.append(Ret([]))  # second terminator behind the first
+    with pytest.raises(IRError, match="terminator mid-block"):
+        verify_function(f)
+
+
 def test_module_checks_call_arity():
     m = Module()
     callee = Function("callee", ["a", "b"])

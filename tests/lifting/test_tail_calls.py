@@ -1,6 +1,5 @@
 """Tail-call identification and conversion (paper §5.1, §6.1)."""
 
-from repro.cc import compile_source
 from repro.core import wytiwyg_recompile
 from repro.emu import run_binary, trace_binary
 from repro.ir import run_module

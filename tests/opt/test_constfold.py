@@ -1,6 +1,6 @@
 """Constant folding and algebraic simplification."""
 
-from repro.ir import BinOp, Builder, Const, Function, ICmp, run_module, \
+from repro.ir import BinOp, Builder, Const, Function, run_module, \
     Module, Unary
 from repro.opt import fold_constants
 

@@ -7,7 +7,7 @@ from repro.ir import Builder, Const, Function, GlobalRef, GlobalVar, \
     Module
 from repro.isa import Disassembler
 from repro.emu import run_binary
-from repro.recompile import LowerOptions, compile_ir, recompile_ir
+from repro.recompile import LowerOptions, compile_ir
 
 
 def module_returning(build_body, params=(), nresults=1):

@@ -232,9 +232,9 @@ def test_analysis_cache_off_is_byte_identical(monkeypatch):
 
 def test_run_instrumented_parallel_merges_deterministically():
     image = cached_image(KERNEL_SOURCE)
-    m1, layouts1, _ = wytiwyg_lift(
+    m1, layouts1, _, _ = wytiwyg_lift(
         trace_binary(image.stripped(), [[], []]), jobs=1)
-    m4, layouts4, _ = wytiwyg_lift(
+    m4, layouts4, _, _ = wytiwyg_lift(
         trace_binary(image.stripped(), [[], []]), jobs=4)
     assert module_to_text(m1) == module_to_text(m4)
     assert {n: [(v.start, v.end) for v in lo.variables]

@@ -1,0 +1,134 @@
+"""Unit tests for the static-vs-dynamic layout corroboration pass."""
+
+from repro.core.layout import FrameLayout, FrameVariable, apply_widenings
+from repro.sanalysis import StaticAccess, corroborate_function
+from repro.sanalysis.absint import FrameAccessSet
+from repro.sanalysis.corroborate import _subtract
+
+
+def access_set(accesses, func="fn_1000"):
+    aset = FrameAccessSet(func)
+    for a in accesses:
+        aset.add(a)
+    return aset
+
+
+def layout_with(spans, func="fn_1000"):
+    layout = FrameLayout(func)
+    layout.variables = [FrameVariable(s, e) for s, e in spans]
+    return layout
+
+
+def exact(lo, width=4, kind="load"):
+    return StaticAccess(lo, lo + width, width, kind, exact=True)
+
+
+def derived(anchor, width=4, kind="load"):
+    return StaticAccess(anchor, None, width, kind, derived=True)
+
+
+# -- interval subtraction ----------------------------------------------------
+
+
+def test_subtract_middle_and_edges():
+    assert _subtract(-16, 0, [(-12, -8)]) == [(-16, -12), (-8, 0)]
+    assert _subtract(-16, 0, [(-16, -8)]) == [(-8, 0)]
+    assert _subtract(-16, 0, [(-16, 0)]) == []
+    assert _subtract(-16, 0, []) == [(-16, 0)]
+
+
+# -- unsound splits ----------------------------------------------------------
+
+
+def test_contained_access_is_corroborated():
+    findings, suggestions = corroborate_function(
+        access_set([exact(-8)]), layout_with([(-8, -4)]))
+    assert findings == [] and suggestions == []
+
+
+def test_straddling_access_is_unsound_split():
+    # Static 4-byte load at -6 crosses the boundary between the two
+    # recovered variables: splitting there would cut one object in two.
+    findings, _ = corroborate_function(
+        access_set([exact(-6)]), layout_with([(-12, -4), (-4, 0)]))
+    kinds = {(f.severity, f.kind) for f in findings}
+    assert ("error", "unsound-split") in kinds
+
+
+def test_straddles_deduplicate():
+    # The same access repeated (one per loop unroll, say) reports once
+    # per straddled variable, not once per occurrence.
+    findings, _ = corroborate_function(
+        access_set([exact(-6, kind="load"), exact(-6, kind="load")]),
+        layout_with([(-4, 0)]))
+    splits = [f for f in findings if f.kind == "unsound-split"]
+    assert len(splits) == 1
+
+
+# -- coverage gaps -----------------------------------------------------------
+
+
+def test_derived_access_clamped_reports_gap():
+    # Derived access anchored at -64; next static evidence at -16 clamps
+    # the extent; the traced variable only covers [-64, -52).
+    findings, suggestions = corroborate_function(
+        access_set([derived(-64), exact(-16)]),
+        layout_with([(-64, -52), (-16, -12)]))
+    gaps = [f for f in findings if f.kind == "coverage-gap"]
+    assert len(gaps) == 1
+    assert gaps[0].severity == "warning"
+    assert gaps[0].offset == -52 and gaps[0].width == 36
+    assert suggestions and suggestions[0].start == -64
+    assert suggestions[0].end == -16
+
+
+def test_fully_covered_frame_has_no_gap():
+    findings, suggestions = corroborate_function(
+        access_set([derived(-64), exact(-16)]),
+        layout_with([(-64, -16), (-16, -12)]))
+    assert findings == [] and suggestions == []
+
+
+def test_positive_offsets_are_argument_side():
+    # Accesses at/above sp0 (retaddr, stack args) are not frame bytes.
+    findings, suggestions = corroborate_function(
+        access_set([exact(0), exact(8)]), layout_with([]))
+    assert findings == [] and suggestions == []
+
+
+# -- widening ----------------------------------------------------------------
+
+
+class Suggestion:
+    def __init__(self, func, start, end):
+        self.func, self.start, self.end = func, start, end
+
+
+def test_apply_widenings_grows_and_merges():
+    layouts = {"f": layout_with([(-64, -52), (-48, -40)], "f")}
+    rows = apply_widenings(layouts, [Suggestion("f", -64, -16)])
+    assert rows == [{"func": "f", "start": -64, "end": -16,
+                     "applied": True}]
+    assert [(v.start, v.end) for v in layouts["f"].variables] \
+        == [(-64, -16)]
+
+
+def test_apply_widenings_skips_covered_region():
+    layouts = {"f": layout_with([(-64, -16)], "f")}
+    rows = apply_widenings(layouts, [Suggestion("f", -60, -20)])
+    assert rows[0]["applied"] is False
+    assert [(v.start, v.end) for v in layouts["f"].variables] \
+        == [(-64, -16)]
+
+
+def test_apply_widenings_creates_variable_when_none_overlaps():
+    layouts = {"f": layout_with([(-8, -4)], "f")}
+    apply_widenings(layouts, [Suggestion("f", -32, -16)])
+    assert [(v.start, v.end) for v in layouts["f"].variables] \
+        == [(-32, -16), (-8, -4)]
+
+
+def test_apply_widenings_ignores_unknown_function():
+    layouts = {"f": layout_with([(-8, -4)], "f")}
+    rows = apply_widenings(layouts, [Suggestion("ghost", -32, -16)])
+    assert rows[0]["applied"] is False

@@ -1,0 +1,178 @@
+"""Unit tests for the IR sanitizer lints (symbolized IR)."""
+
+from repro.ir import Builder, Const, Function
+from repro.opt.alias import AliasAnalysis
+from repro.sanalysis import sanitize_function
+from repro.sanalysis.sanitize import _alloca_roots, _check_escapes
+
+
+def fresh(name="f", params=()):
+    f = Function(name, list(params))
+    b = Builder(f)
+    b.position(f.add_block("entry"))
+    return f, b
+
+
+def kinds(findings):
+    return {(f.severity, f.kind) for f in findings}
+
+
+# -- uninit-read -------------------------------------------------------------
+
+
+def test_store_then_load_is_clean():
+    f, b = fresh()
+    a = b.alloca(4, 4, "x")
+    b.store(a, Const(1), 4)
+    v = b.load(a, 4)
+    b.ret([v])
+    assert sanitize_function(f) == []
+
+
+def test_load_before_store_warns():
+    f, b = fresh()
+    a = b.alloca(4, 4, "x")
+    v = b.load(a, 4)
+    b.store(a, Const(1), 4)
+    b.ret([v])
+    assert ("warning", "uninit-read") in kinds(sanitize_function(f))
+
+
+def test_partial_initialization_warns_on_wider_load():
+    f, b = fresh()
+    a = b.alloca(8, 4, "pair")
+    b.store(a, Const(1), 4)      # only [0, 4) initialized
+    wide = b.add(a, Const(4))
+    v = b.load(wide, 4)          # [4, 8) never stored
+    b.ret([v])
+    assert ("warning", "uninit-read") in kinds(sanitize_function(f))
+
+
+def test_join_requires_init_on_all_paths():
+    f, b = fresh(params=("c",))
+    a = None
+    entry = f.entry
+    then = f.add_block("then")
+    els = f.add_block("els")
+    out = f.add_block("out")
+    b.position(entry)
+    a = b.alloca(4, 4, "x")
+    b.condbr(f.params[0], then, els)
+    b.position(then)
+    b.store(a, Const(1), 4)
+    b.br(out)
+    b.position(els)
+    b.br(out)                     # no store on this path
+    b.position(out)
+    v = b.load(a, 4)
+    b.ret([v])
+    assert ("warning", "uninit-read") in kinds(sanitize_function(f))
+
+
+def test_init_on_both_paths_is_clean():
+    f, b = fresh(params=("c",))
+    entry = f.entry
+    then = f.add_block("then")
+    els = f.add_block("els")
+    out = f.add_block("out")
+    b.position(entry)
+    a = b.alloca(4, 4, "x")
+    b.condbr(f.params[0], then, els)
+    b.position(then)
+    b.store(a, Const(1), 4)
+    b.br(out)
+    b.position(els)
+    b.store(a, Const(2), 4)
+    b.br(out)
+    b.position(out)
+    v = b.load(a, 4)
+    b.ret([v])
+    assert sanitize_function(f) == []
+
+
+def test_variable_offset_store_initializes_whole_alloca():
+    f, b = fresh(params=("i",))
+    a = b.alloca(16, 4, "arr")
+    slot = b.add(a, f.params[0])
+    b.store(slot, Const(0), 4)
+    v = b.load(a, 4)
+    b.ret([v])
+    assert not [x for x in sanitize_function(f)
+                if x.kind == "uninit-read"]
+
+
+# -- oob-access --------------------------------------------------------------
+
+
+def test_constant_offset_past_end_is_error():
+    f, b = fresh()
+    a = b.alloca(8, 4, "x")
+    b.store(a, Const(1), 4)
+    past = b.add(a, Const(8))
+    v = b.load(past, 4)
+    b.ret([v])
+    assert ("error", "oob-access") in kinds(sanitize_function(f))
+
+
+def test_negative_offset_is_error():
+    f, b = fresh()
+    a = b.alloca(8, 4, "x")
+    before = b.sub(a, Const(4))
+    b.store(before, Const(1), 4)
+    b.ret([Const(0)])
+    assert ("error", "oob-access") in kinds(sanitize_function(f))
+
+
+def test_in_bounds_tail_access_is_clean():
+    f, b = fresh()
+    a = b.alloca(8, 4, "x")
+    b.store(a, Const(1), 4)
+    tail = b.add(a, Const(4))
+    b.store(tail, Const(2), 4)
+    v = b.load(tail, 4)
+    b.ret([v])
+    assert sanitize_function(f) == []
+
+
+# -- escapes -----------------------------------------------------------------
+
+
+def test_escaping_address_is_reported_info():
+    f, b = fresh()
+    a = b.alloca(4, 4, "x")
+    b.store(a, Const(1), 4)
+    b.call_external("puts", [a])
+    b.ret([Const(0)])
+    findings = sanitize_function(f)
+    assert ("info", "escaped-frame-pointer") in kinds(findings)
+    # Alias analysis agrees the alloca escapes: no divergence error.
+    assert "alias-divergence" not in {x.kind for x in findings}
+
+
+def test_stored_address_escapes():
+    f, b = fresh()
+    a = b.alloca(4, 4, "x")
+    cell = b.alloca(4, 4, "cell")
+    b.store(a, Const(1), 4)
+    b.store(cell, a, 4)           # the *address* of x stored as a value
+    b.ret([Const(0)])
+    findings = sanitize_function(f)
+    assert ("info", "escaped-frame-pointer") in kinds(findings)
+
+
+def test_alias_divergence_flagged_when_alias_misses_escape():
+    f, b = fresh()
+    a = b.alloca(4, 4, "x")
+    b.store(a, Const(1), 4)
+    b.call_external("puts", [a])
+    b.ret([Const(0)])
+    aa = AliasAnalysis(f)
+    aa.escaped.discard(a)         # simulate an unsound alias result
+    findings = _check_escapes(f, aa, _alloca_roots(f))
+    assert ("error", "alias-divergence") in kinds(findings)
+
+
+def test_function_without_allocas_is_skipped():
+    f, b = fresh(params=("x",))
+    b.ret([f.params[0]])
+    assert sanitize_function(f) == []
