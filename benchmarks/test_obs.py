@@ -30,7 +30,7 @@ int main() {
 """
 
 STAGES = ("trace", "lift", "varargs", "regsave", "canonicalize",
-          "bounds", "optimize", "recompile")
+          "bounds", "sanalysis", "sanitize", "optimize", "recompile")
 
 
 @pytest.fixture(scope="module")

@@ -79,7 +79,8 @@ def cmd_recompile(args) -> int:
     if args.pipeline == "wytiwyg":
         try:
             result = wytiwyg_recompile(image, runs, jobs=args.jobs,
-                                       check=args.check)
+                                       check=args.check,
+                                       opt_jobs=args.opt_jobs)
         except StaticCheckError as exc:
             print(f"static check gate aborted recompilation: {exc}",
                   file=sys.stderr)
@@ -108,7 +109,7 @@ def cmd_layout(args) -> int:
     image = BinaryImage.from_json(Path(args.image).read_text())
     runs = _parse_inputs(args.input)
     result = wytiwyg_recompile(image, runs, optimize=False,
-                               jobs=args.jobs)
+                               jobs=args.jobs, opt_jobs=args.opt_jobs)
     for name, layout in sorted(result.layouts.items()):
         if not layout.variables:
             continue
@@ -176,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan replay sweeps out over N worker processes "
                         "(output is byte-identical to --jobs 1)")
+    p.add_argument("--opt-jobs", type=int, default=None, metavar="N",
+                   help="fan the optimizer's per-function visits over "
+                        "N worker processes (default $REPRO_OPT_JOBS; "
+                        "output is byte-identical to --opt-jobs 1)")
     p.add_argument("--check", nargs="?", const="1", default=None,
                    metavar="MODE",
                    help="arm the static check gate: error findings "
@@ -188,6 +193,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--input", nargs="*", default=[])
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan replay sweeps out over N worker processes")
+    p.add_argument("--opt-jobs", type=int, default=None, metavar="N",
+                   help="fan canonicalization visits over N worker "
+                        "processes (default $REPRO_OPT_JOBS)")
     p.set_defaults(func=cmd_layout)
 
     p = sub.add_parser(

@@ -134,13 +134,13 @@ def module_stats(module: Module) -> dict[str, int]:
     }
 
 
-def _canonicalize(module: Module) -> None:
+def _canonicalize(module: Module, opt_jobs: int | None = None) -> None:
     """SSA-ify vcpu registers and fold address arithmetic (the paper's
     "turn virtual CPU registers into SSA-values before instrumentation"
     plus displacement folding).  Runs under the incremental pass
     manager, so functions the preceding refinement stage left untouched
     cost one version comparison instead of a full schedule."""
-    canonicalize_module(module)
+    canonicalize_module(module, jobs=opt_jobs)
 
 
 def wytiwyg_lift(traces: TraceSet,
@@ -148,6 +148,7 @@ def wytiwyg_lift(traces: TraceSet,
                  hybrid: bool = False,
                  jobs: int = 1,
                  static_widen: bool | None = None,
+                 opt_jobs: int | None = None,
                  ) -> tuple[Module, dict[str, FrameLayout],
                             list[str], CheckReport]:
     """Run the refinement pipeline on merged traces; returns the
@@ -168,10 +169,25 @@ def wytiwyg_lift(traces: TraceSet,
     best-effort instead of trapping.
 
     ``jobs > 1`` fans the validation sweeps and the instrumented bounds
-    runs out over a process pool; the symbolized module is byte-
-    identical to a serial run.
+    runs out over a process pool; ``opt_jobs`` does the same for the
+    canonicalization stage's per-function visits (default:
+    ``$REPRO_OPT_JOBS``).  The symbolized module is byte-identical to a
+    serial run either way.
     """
     engine = ReplayEngine(traces, jobs=jobs)
+    try:
+        return _lift_with_engine(engine, traces, validate, hybrid,
+                                 static_widen, opt_jobs)
+    finally:
+        engine.close()
+
+
+def _lift_with_engine(engine: ReplayEngine, traces: TraceSet,
+                      validate: bool, hybrid: bool,
+                      static_widen: bool | None,
+                      opt_jobs: int | None,
+                      ) -> tuple[Module, dict[str, FrameLayout],
+                                 list[str], CheckReport]:
     static_widen = _resolve_static_widen(static_widen)
     report = CheckReport()
     notes: list[str] = []
@@ -234,7 +250,7 @@ def wytiwyg_lift(traces: TraceSet,
     # Canonicalize and identify direct stack references.
     with obs.span("stage.canonicalize") as sp:
         before = module_stats(module) if observing else None
-        _canonicalize(module)
+        _canonicalize(module, opt_jobs)
         refs = fold_module_stack_refs(module)
         if before is not None:
             sp.set(ir_before=before, ir_after=module_stats(module),
@@ -349,7 +365,8 @@ def wytiwyg_recompile(image: BinaryImage,
                       traces: TraceSet | None = None,
                       jobs: int = 1,
                       check: bool | str | None = None,
-                      static_widen: bool | None = None) -> WytiwygResult:
+                      static_widen: bool | None = None,
+                      opt_jobs: int | None = None) -> WytiwygResult:
     """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
     recompile.  Falls back to the unsymbolized (BinRec) pipeline if
     symbolization fails functional validation.
@@ -357,7 +374,9 @@ def wytiwyg_recompile(image: BinaryImage,
     Pass ``traces`` (a TraceSet of ``image`` over ``inputs``) to reuse
     an existing or cached trace instead of re-executing the binary.
     ``jobs`` fans validation and bounds replay out over that many
-    worker processes; the result is byte-identical to ``jobs=1``.
+    worker processes; ``opt_jobs`` (default ``$REPRO_OPT_JOBS``) fans
+    the optimizer's per-function visits the same way.  The result is
+    byte-identical to ``jobs=1`` / ``opt_jobs=1``.
 
     ``check`` (default: ``$REPRO_CHECK``) arms the static gate: with a
     truthy value, ``error``-severity findings abort the pipeline with
@@ -379,7 +398,7 @@ def wytiwyg_recompile(image: BinaryImage,
         try:
             module, layouts, notes, report = wytiwyg_lift(
                 traces, hybrid=hybrid, jobs=jobs,
-                static_widen=static_widen)
+                static_widen=static_widen, opt_jobs=opt_jobs)
             fallback = False
         except SymbolizeError as exc:
             if not allow_fallback:
@@ -411,7 +430,7 @@ def wytiwyg_recompile(image: BinaryImage,
         with obs.span("stage.optimize", enabled=optimize) as sp:
             before = module_stats(module) if observing else None
             if optimize:
-                optimize_module(module, OptOptions.o3())
+                optimize_module(module, OptOptions.o3(), jobs=opt_jobs)
                 verify_module(module)
             if before is not None:
                 sp.set(ir_before=before, ir_after=module_stats(module),

@@ -32,8 +32,10 @@ from .manager import (
     PassManager,
     canonicalize_module,
     clear_memo,
+    close_opt_pool,
     drop_unused_private_functions,
     memo_enabled,
+    opt_jobs_default,
     pass_baseline_enabled,
     run_worklist,
 )
@@ -48,14 +50,14 @@ from .simplifycfg import remove_unreachable, simplify_cfg
 __all__ = [
     "AliasAnalysis", "Dominators", "OptOptions", "PassManager",
     "analysis_cache_enabled", "cached_analysis", "canonicalize_module",
-    "clear_memo", "dominators",
+    "clear_memo", "close_opt_pool", "dominators",
     "drop_unused_private_functions", "eliminate_dead_code",
     "eliminate_dead_params", "eliminate_dead_results",
     "eliminate_dead_stores", "eliminate_redundant_loads",
     "fold_constants", "fuse_flags", "global_value_numbering", "inline_call",
     "inline_functions", "inline_functions_tracked", "inline_would_change",
-    "memo_enabled", "optimize_function", "optimize_module",
-    "pass_baseline_enabled",
+    "memo_enabled", "opt_jobs_default", "optimize_function",
+    "optimize_module", "pass_baseline_enabled",
     "postorder", "predecessors", "promotable_allocas", "promote_allocas",
     "reachable", "reachable_blocks", "remove_unreachable",
     "run_worklist", "shrink_signatures", "simplify_cfg",

@@ -20,8 +20,22 @@ Three layers of change tracking, cheapest first:
    *fresh object* (a deep copy, a re-lift, another module) whose content
    matches a known fixpoint is skipped too.  Only fixpoints enter the
    memo — a function that was still changing when the round budget ran
-   out is never memoized.  The module context folds in the global-
-   variable layout because alias-driven passes consult it.
+   out is never memoized, whether it was visited serially or by a pool
+   worker.  The module context folds in the global-variable layout
+   because alias-driven passes consult it.
+
+Functions that survive all three layers are *visited*: the per-round
+schedule runs to fixpoint (or the round budget).  Visits between inline
+stages are independent per function — every per-function pass reads at
+most the module's global-variable layout, never another function's body
+— so with ``jobs > 1`` they fan out over the shared fork pool
+(:class:`repro.parallel.ForkPool`).  Workers inherit the module over
+``fork``, re-optimize their function, and ship it back pickled; the
+parent installs results in worklist order and keeps all bookkeeping
+(fixpoint records, memo inserts) on its side, so ``jobs=N`` output is
+byte-identical to serial.  ``REPRO_OPT_JOBS`` sets the default fan-out
+(CLI: ``--opt-jobs``).  Pools are keyed on the module's content
+fingerprint and reused across batches while it is unchanged.
 
 Each pass is registered with a **preserved-analyses declaration**
 (``PRESERVES`` in its module): when a pass reports a change, the
@@ -42,20 +56,26 @@ cross-stage memo (layers 1–2 still apply), e.g. for cold-path benches.
 Observability: per-pass timers/counters keep the legacy
 ``opt.pass.<name>`` naming, with the two CFG-simplification slots split
 as ``simplifycfg.entry`` / ``simplifycfg.exit``; the manager itself
-reports ``opt.manager.skipped`` (functions not re-optimized) and
-``opt.manager.requeued`` (functions re-enqueued after inlining).
+reports ``opt.manager.skipped`` (functions not re-optimized),
+``opt.manager.requeued`` (functions re-enqueued after inlining), and
+``opt.manager.parallel_visits`` (functions optimized by pool workers);
+worker pass metrics merge into the parent recorder.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import sys
 import time
 from collections import OrderedDict
+from concurrent.futures import as_completed
 from weakref import WeakKeyDictionary
 
 from .. import obs
 from ..ir.module import Function, Module
 from ..obs import recorder as _obs_recorder
+from ..parallel import ForkPool, worker_ctx
 from . import (
     constfold,
     dce,
@@ -88,6 +108,18 @@ def memo_enabled() -> bool:
     """``REPRO_OPT_MEMO=0`` disables the cross-stage fingerprint memo."""
     return os.environ.get("REPRO_OPT_MEMO", "1") not in ("0", "false",
                                                          "off")
+
+
+def opt_jobs_default() -> int:
+    """The default worklist fan-out (``REPRO_OPT_JOBS``, else serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_OPT_JOBS", "1") or "1"))
+    except ValueError:
+        return 1
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    return opt_jobs_default() if jobs is None else max(1, int(jobs))
 
 
 class FunctionPass:
@@ -158,6 +190,18 @@ def build_canonicalize_pipeline(module: Module) -> list[FunctionPass]:
     ]
 
 
+def _passes_for_schedule(schedule_key: tuple,
+                         module: Module) -> list[FunctionPass] | None:
+    """Rebuild a known schedule from its key (pool workers do this from
+    the picklable key instead of receiving closures).  None for custom
+    schedules, which therefore run serially."""
+    if schedule_key and schedule_key[0] == "opt":
+        return build_function_pipeline(schedule_key[1], module)
+    if schedule_key and schedule_key[0] == "canonicalize":
+        return build_canonicalize_pipeline(module)
+    return None
+
+
 # -- change-tracking state ----------------------------------------------
 
 #: Cross-stage memo of known fixpoints:
@@ -206,6 +250,126 @@ def _module_context(module: Module) -> tuple:
         for name, g in module.globals.items()))
 
 
+# -- fork-pool plumbing --------------------------------------------------
+
+#: The optimizer's shared fork pool; lives across ``optimize_module``
+#: calls so consecutive stages over an unchanged module reuse workers.
+_POOL: ForkPool | None = None
+
+
+def close_opt_pool() -> None:
+    """Release the optimizer's worker pool (tests, benches, shutdown)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+def _acquire_opt_pool(jobs: int, module: Module, observe: bool,
+                      ntasks: int):
+    global _POOL
+    if _POOL is None or _POOL.jobs != jobs:
+        close_opt_pool()
+        _POOL = ForkPool(jobs)
+    from ..replay.fingerprint import module_fingerprint
+    key = ("opt", module_fingerprint(module), observe)
+    return _POOL.acquire(key, (module, observe), ntasks)
+
+
+def _invalidate_opt_pool(cancel: bool = False) -> None:
+    if _POOL is not None:
+        _POOL.invalidate(cancel=cancel)
+
+
+#: Pickling an IR function crosses a deep cyclic graph; the default
+#: recursion limit can be too tight for long straight-line blocks.
+_PICKLE_RECURSION = 100_000
+
+
+def _dumps_function(func: Function) -> bytes:
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _PICKLE_RECURSION))
+    try:
+        return pickle.dumps(func, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+def _loads_function(blob: bytes) -> Function:
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _PICKLE_RECURSION))
+    try:
+        return pickle.loads(blob)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+def _opt_worker(task):
+    """Pool-worker entry: re-optimize one inherited function.
+
+    ``task`` is ``(name, schedule_key, rounds)`` — small and picklable;
+    the module arrives via fork inheritance.  Returns ``(name, fixed,
+    changed_any, fingerprint-or-None, pickled-function-or-None,
+    obs payload)``.  The parent owns all memo/fixpoint bookkeeping: a
+    worker only ever reports, so a function still changing when the
+    round budget ran out (``fixed=False``) can never leak a partial
+    result into the memo.
+    """
+    name, schedule_key, rounds = task
+    module, observe = worker_ctx()
+    if observe:
+        obs.enable(reset=True)
+    rec = _obs_recorder()
+    func = module.functions[name]
+    passes = _passes_for_schedule(schedule_key, module)
+    fixed, changed_any = _run_rounds(func, passes, rounds, rec)
+    fp = function_fingerprint(func) if fixed else None
+    blob = _dumps_function(func) if changed_any else None
+    return (name, fixed, changed_any, fp, blob,
+            obs.export_payload() if observe else None)
+
+
+# -- pass execution ------------------------------------------------------
+
+def _run_pass(p: FunctionPass, func: Function, rec) -> bool:
+    prior = current_epoch(func) if p.preserves else None
+    if rec is None:
+        changed = p.run(func)
+    else:
+        registry = rec.registry
+        before = _ninstrs(func)
+        start = time.perf_counter()
+        changed = p.run(func)
+        registry.timer(f"opt.pass.{p.name}").add(
+            time.perf_counter() - start)
+        registry.count(f"opt.pass.{p.name}.runs")
+        delta = before - _ninstrs(func)
+        if delta:
+            registry.count(f"opt.pass.{p.name}.instrs_removed",
+                           delta)
+    if changed and prior is not None:
+        retain_analyses(func, p.preserves, prior)
+    return changed
+
+
+def _run_rounds(func: Function, passes: list[FunctionPass],
+                rounds: int, rec) -> tuple[bool, bool]:
+    """Run the schedule to fixpoint or the round budget.
+
+    Returns ``(fixed, changed_any)``: ``fixed`` is True only when a full
+    round reported no change — the *only* state that may be memoized.
+    """
+    changed_any = False
+    for _ in range(rounds):
+        changed = False
+        for p in passes:
+            changed |= _run_pass(p, func, rec)
+        if not changed:
+            return True, changed_any
+        changed_any = True
+    return False, changed_any
+
+
 _SKIPPED, _FIXED, _UNRESOLVED = range(3)
 
 
@@ -214,12 +378,19 @@ class PassManager:
 
     def __init__(self, module: Module, passes: list[FunctionPass],
                  schedule_key: tuple, rounds: int,
-                 inline_threshold: int | None = None):
+                 inline_threshold: int | None = None,
+                 jobs: int = 1):
         self.module = module
         self.passes = passes
+        self.schedule_key = schedule_key
         self.rounds = max(rounds, 1)
         #: None disables the inline stage entirely.
         self.inline_threshold = inline_threshold
+        #: Worklist fan-out; custom schedules (unknown keys) cannot be
+        #: rebuilt inside a worker and always run serially.
+        self.jobs = max(1, int(jobs)) \
+            if _passes_for_schedule(schedule_key, module) is not None \
+            else 1
         self._token = (schedule_key, _module_context(module))
         self._rec = _obs_recorder()
         self._memo_on = memo_enabled()
@@ -261,9 +432,7 @@ class PassManager:
         if self.module_at_fixpoint():
             obs.count("opt.manager.skipped", len(module.functions))
             return
-        for func in list(module.functions.values()):
-            if self._optimize(func) is _UNRESOLVED:
-                self.unresolved.add(func.name)
+        self._visit(list(module.functions.values()))
         if self.inline_threshold is None:
             return
         changed = self._run_inline()
@@ -277,70 +446,109 @@ class PassManager:
                    if name in changed or name in self.unresolved]
         obs.count("opt.manager.requeued", len(targets))
         self.unresolved.clear()
-        for func in targets:
+        self._visit(targets)
+
+    def _visit(self, funcs: list[Function]) -> None:
+        """One worklist sweep over ``funcs`` (serial or fanned out)."""
+        if self.jobs > 1 and len(funcs) > 1:
+            funcs = self._visit_parallel(funcs)
+        for func in funcs:
             if self._optimize(func) is _UNRESOLVED:
                 self.unresolved.add(func.name)
 
-    def _optimize(self, func: Function) -> int:
-        token = self._token
+    def _precheck(self, func: Function):
+        """The cheap skip layers (version, memo).  Returns
+        ``(skipped, entry_fp)``; ``entry_fp`` is the fingerprint already
+        computed for the memo probe, reusable by the caller."""
         versions = _FIXPOINT.get(func)
-        if versions is not None and versions.get(token) == func.version:
+        if versions is not None and \
+                versions.get(self._token) == func.version:
             obs.count("opt.manager.skipped")
-            return _SKIPPED
+            return True, None
         entry_fp = None
         if self._memo_on:
             entry_fp = function_fingerprint(func)
-            if _memo_get((token, entry_fp)):
+            if _memo_get((self._token, entry_fp)):
                 self._record_fixpoint(func)
                 obs.count("opt.manager.skipped")
                 obs.count("opt.manager.memo_hits")
-                return _SKIPPED
-        changed_any = False
-        fixed = False
-        for _ in range(self.rounds):
-            changed = False
-            for p in self.passes:
-                changed |= self._run_pass(p, func)
-            if not changed:
-                fixed = True
-                break
-            changed_any = True
+                return True, entry_fp
+        return False, entry_fp
+
+    def _optimize(self, func: Function) -> int:
+        skipped, entry_fp = self._precheck(func)
+        if skipped:
+            return _SKIPPED
+        fixed, changed_any = _run_rounds(func, self.passes, self.rounds,
+                                         self._rec)
         if not fixed:
             return _UNRESOLVED
         self._record_fixpoint(func)
         if self._memo_on:
             fp = function_fingerprint(func) if changed_any else entry_fp
-            _memo_add((token, fp))
+            _memo_add((self._token, fp))
         return _FIXED
+
+    def _visit_parallel(self, funcs: list[Function]) -> list[Function]:
+        """Fan one sweep out over the shared fork pool.
+
+        The parent runs the skip layers (they need its tracking state),
+        ships only the survivors to workers, and installs the returned
+        functions *in worklist order* — the merge, the fixpoint records,
+        and the memo inserts are all parent-side and deterministic, so
+        output is byte-identical to a serial sweep.  Returns the
+        functions that still need a serial visit (all of them when no
+        pool is available, none on success).
+        """
+        work = [func for func in funcs if not self._precheck(func)[0]]
+        if len(work) <= 1:
+            return work
+        observe = obs.enabled()
+        try:
+            pool = _acquire_opt_pool(self.jobs, self.module, observe,
+                                     len(work))
+        except Exception:
+            return work
+        tasks = [(func.name, self.schedule_key, self.rounds)
+                 for func in work]
+        results: dict[str, tuple] = {}
+        try:
+            futures = [pool.submit(_opt_worker, task) for task in tasks]
+            for future in as_completed(futures):
+                name, fixed, changed_any, fp, blob, payload = \
+                    future.result()
+                results[name] = (fixed, changed_any, fp, blob, payload)
+        except Exception:
+            # Broken pool / unpicklable function: the module is still
+            # untouched (installs happen below), so a serial sweep over
+            # the same work list computes identical results.
+            _invalidate_opt_pool()
+            return work
+        module = self.module
+        for func in work:
+            fixed, changed_any, fp, blob, payload = results[func.name]
+            obs.merge_payload(payload)
+            obs.count("opt.manager.parallel_visits")
+            if changed_any and blob is not None:
+                func = _loads_function(blob)
+                module.functions[func.name] = func
+            if not fixed:
+                # Round budget ran out while the worker's copy was
+                # still changing: record it unresolved and keep the
+                # partial result OUT of the memo (see the memo-
+                # poisoning regression test).
+                self.unresolved.add(func.name)
+                continue
+            self._record_fixpoint(func)
+            if self._memo_on and fp is not None:
+                _memo_add((self._token, fp))
+        return []
 
     def _record_fixpoint(self, func: Function) -> None:
         versions = _FIXPOINT.get(func)
         if versions is None:
             versions = _FIXPOINT[func] = {}
         versions[self._token] = func.version
-
-    # -- pass execution --------------------------------------------------
-
-    def _run_pass(self, p: FunctionPass, func: Function) -> bool:
-        prior = current_epoch(func) if p.preserves else None
-        rec = self._rec
-        if rec is None:
-            changed = p.run(func)
-        else:
-            registry = rec.registry
-            before = _ninstrs(func)
-            start = time.perf_counter()
-            changed = p.run(func)
-            registry.timer(f"opt.pass.{p.name}").add(
-                time.perf_counter() - start)
-            registry.count(f"opt.pass.{p.name}.runs")
-            delta = before - _ninstrs(func)
-            if delta:
-                registry.count(f"opt.pass.{p.name}.instrs_removed",
-                               delta)
-        if changed and prior is not None:
-            retain_analyses(func, p.preserves, prior)
-        return changed
 
     def _run_inline(self) -> set[str]:
         module = self.module
@@ -369,21 +577,24 @@ def _ninstrs(func: Function) -> int:
 
 # -- entry points --------------------------------------------------------
 
-def run_worklist(module: Module, opts) -> None:
+def run_worklist(module: Module, opts, jobs: int | None = None) -> None:
     """Worklist-optimize ``module`` under ``opts`` (an
     :class:`~repro.opt.pipeline.OptOptions`); the incremental
     counterpart of the legacy ``optimize_module`` schedule, including
-    the final unused-function sweep."""
+    the final unused-function sweep.  ``jobs`` (default:
+    ``$REPRO_OPT_JOBS``) fans per-function visits over the fork pool;
+    the output is byte-identical to serial."""
     manager = PassManager(
         module, build_function_pipeline(opts, module),
         ("opt", opts), opts.rounds,
-        inline_threshold=opts.inline_threshold if opts.inline else None)
+        inline_threshold=opts.inline_threshold if opts.inline else None,
+        jobs=_resolve_jobs(jobs))
     manager.run()
     drop_unused_private_functions(module)
     manager.record_module_fixpoint()
 
 
-def canonicalize_module(module: Module) -> None:
+def canonicalize_module(module: Module, jobs: int | None = None) -> None:
     """The driver's canonicalization stage (SSA-ify vcpu registers,
     fold address arithmetic) as a managed one-round schedule, so
     re-canonicalizing an unchanged function after a no-op refinement
@@ -401,7 +612,8 @@ def canonicalize_module(module: Module) -> None:
             simplifycfg.simplify_cfg(func)
         return
     PassManager(module, build_canonicalize_pipeline(module),
-                ("canonicalize",), rounds=1).run()
+                ("canonicalize",), rounds=1,
+                jobs=_resolve_jobs(jobs)).run()
 
 
 def drop_unused_private_functions(module: Module) -> None:

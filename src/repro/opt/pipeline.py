@@ -127,14 +127,22 @@ def optimize_function(func: Function, module: Module | None = None,
 
 
 def optimize_module(module: Module,
-                    options: OptOptions | None = None) -> None:
+                    options: OptOptions | None = None,
+                    jobs: int | None = None) -> None:
+    """Optimize every function of ``module``.
+
+    ``jobs`` fans the worklist engine's per-function visits over the
+    shared fork pool (default ``$REPRO_OPT_JOBS``, i.e. serial); output
+    is byte-identical for any job count.  The baseline schedule is
+    always serial.
+    """
     opts = options or OptOptions()
     if opts.level == 0:
         return
     if pass_baseline_enabled():
         _optimize_module_baseline(module, opts)
         return
-    run_worklist(module, opts)
+    run_worklist(module, opts, jobs=jobs)
 
 
 def _optimize_module_baseline(module: Module, opts: OptOptions) -> None:

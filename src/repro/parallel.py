@@ -1,0 +1,136 @@
+"""repro.parallel — the shared fork-pool utility.
+
+Both per-function-independent backend stages — the replay engine's
+validation / instrumented-bounds sweeps (:mod:`repro.replay.engine`)
+and the pass manager's worklist visits (:mod:`repro.opt.manager`) —
+fan work out over process pools whose workers read a large cyclic
+object graph (the IR module).  Pickling that graph per task is the
+dominant cost, so pools are spawned with the ``fork`` start method and
+workers read the context from inherited memory instead:
+
+1. the parent publishes the context via :func:`publish_ctx`;
+2. the pool forks, each worker inheriting the published snapshot;
+3. tasks are submitted as small picklable values (indices) and workers
+   combine them with :func:`worker_ctx`.
+
+:class:`ForkPool` wraps that protocol and adds **reuse**: a pool stays
+alive after a sweep, and the next ``acquire`` with the same *key* (a
+content fingerprint of the inherited context) returns the live
+executor instead of forking a fresh one — consecutive replay stages
+over an unchanged module share one set of workers.  A key mismatch
+shuts the old pool down and respawns.
+
+Contract for callers:
+
+* ``acquire`` immediately before a submit batch and drain the batch
+  before the next ``acquire`` anywhere in the process — the published
+  context is global, so interleaving un-drained batches of *different*
+  pools could fork a late worker under the wrong context;
+* after cancelling a batch mid-flight or observing a broken pool, call
+  :meth:`ForkPool.invalidate` — a cancelled executor cannot accept new
+  work;
+* ``close`` when the owning scope ends (the replay engine does this
+  when its pipeline run finishes).
+
+Observability: ``parallel.pool.spawns`` counts executor creations,
+``parallel.pool.reuses`` counts acquisitions served by a live pool —
+their ratio is the cross-stage reuse rate.
+
+Where ``fork`` is unavailable (non-POSIX platforms), ``acquire``
+raises and callers fall back to their serial paths, which compute the
+same results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from . import obs
+
+#: Worker state inherited over ``fork``; published by the parent
+#: immediately before spawning (or growing) a pool.
+_CTX = None
+
+
+def publish_ctx(ctx) -> None:
+    """Publish ``ctx`` for workers forked from this point on."""
+    global _CTX
+    _CTX = ctx
+
+
+def worker_ctx():
+    """The context snapshot this worker inherited at fork time."""
+    return _CTX
+
+
+class ForkPool:
+    """A reusable fork-context process pool keyed by inherited context.
+
+    One ``ForkPool`` per owning scope (a replay engine, a pass-manager
+    invocation); at most one executor is live at a time.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, int(jobs))
+        self._exec: ProcessPoolExecutor | None = None
+        self._key = None
+
+    @property
+    def alive(self) -> bool:
+        return self._exec is not None
+
+    def acquire(self, key, ctx, ntasks: int) -> ProcessPoolExecutor:
+        """An executor whose workers inherited ``ctx``.
+
+        ``key`` must determine ``ctx``'s observable content: the live
+        pool is reused when the keys match (its workers' inherited
+        snapshot is interchangeable with ``ctx``), else it is shut down
+        and a fresh pool is forked.  The context is (re)published even
+        on reuse so workers the executor spawns lazily during later
+        submits fork under the right snapshot.
+        """
+        if self._exec is not None:
+            if self._key == key:
+                obs.count("parallel.pool.reuses")
+                publish_ctx(ctx)
+                return self._exec
+            self.close()
+        publish_ctx(ctx)
+        mp_ctx = multiprocessing.get_context("fork")
+        self._exec = ProcessPoolExecutor(
+            max_workers=min(self.jobs, max(int(ntasks), 1)),
+            mp_context=mp_ctx)
+        self._key = key
+        obs.count("parallel.pool.spawns")
+        return self._exec
+
+    def invalidate(self, cancel: bool = False) -> None:
+        """Drop the live pool without waiting for queued work.
+
+        ``cancel=True`` additionally cancels still-pending futures (the
+        early-exit path of a failed validation sweep).
+        """
+        if self._exec is None:
+            return
+        pool, self._exec, self._key = self._exec, None, None
+        try:
+            pool.shutdown(wait=False, cancel_futures=cancel)
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the live pool down, waiting for in-flight work."""
+        if self._exec is None:
+            return
+        pool, self._exec, self._key = self._exec, None, None
+        try:
+            pool.shutdown(wait=True)
+        except Exception:
+            pass
+
+    def __del__(self):  # best-effort: scopes should close() explicitly
+        try:
+            self.invalidate()
+        except Exception:
+            pass

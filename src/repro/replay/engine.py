@@ -24,21 +24,24 @@ validation sweep after each refinement.  That replay loop dominates
 
 Observability: counters ``replay.runs`` / ``replay.deduped`` /
 ``replay.validations_skipped`` / ``validate.interpreter_errors``, and a
-``replay.<stage>_seconds`` timer per replay stage.
+``replay.<stage>_seconds`` timer per replay stage.  The pool layer adds
+``parallel.pool.spawns`` / ``parallel.pool.reuses``.
 
-Process-pool workers are spawned with the ``fork`` start method and read
-the module from inherited memory (a lifted module is a cyclic object
-graph that may exceed pickle's recursion limits), so a fresh pool is
-created per stage — the module mutates between stages.  Where ``fork``
-is unavailable, or a pool dies mid-sweep, the engine falls back to the
-serial path, which computes the same results.
+Process-pool workers are spawned with the ``fork`` start method through
+the shared :class:`repro.parallel.ForkPool` utility and read the module
+from inherited memory (a lifted module is a cyclic object graph that
+may exceed pickle's recursion limits).  The pool is keyed on the
+module's content fingerprint, so consecutive sweeps over an unchanged
+module **reuse** the live workers instead of forking a fresh executor
+per stage; a content change respawns.  Where ``fork`` is unavailable,
+or a pool dies mid-sweep, the engine falls back to the serial path,
+which computes the same results.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 
 from .. import obs
 from ..core.runtime import TracingRuntime
@@ -46,6 +49,7 @@ from ..emu.tracer import TraceSet
 from ..errors import SymbolizeError
 from ..ir.interp import Interpreter
 from ..ir.module import Module
+from ..parallel import ForkPool, worker_ctx
 from .fingerprint import module_fingerprint
 
 
@@ -56,22 +60,17 @@ def _baseline() -> bool:
     return os.environ.get("REPRO_REPLAY_BASELINE", "") not in ("", "0")
 
 
-#: Worker state inherited over ``fork``: (module, inputs, results,
-#: observe).
-_CTX: tuple | None = None
-
-
 def _worker_begin() -> bool:
     """Reset the inherited recorder so this worker's metrics are not
     double-counted when the parent merges its payload."""
-    observe = _CTX[3]
+    observe = worker_ctx()[3]
     if observe:
         obs.enable(reset=True)
     return observe
 
 
 def _validate_worker(index: int):
-    module, inputs, results, _observe = _CTX
+    module, inputs, results, _observe = worker_ctx()
     observe = _worker_begin()
     out = _validate_one(module, inputs[index], results[index], index)
     return out + (obs.export_payload() if observe else None,)
@@ -98,7 +97,7 @@ def _validate_one(module: Module, items, expected, index: int):
 
 
 def _bounds_worker(index: int):
-    module, inputs, _results, _observe = _CTX
+    module, inputs, _results, _observe = worker_ctx()
     observe = _worker_begin()
     runtime = TracingRuntime()
     interp = Interpreter(module, inputs[index],
@@ -115,7 +114,9 @@ class ReplayEngine:
     One engine per :func:`~repro.core.driver.wytiwyg_lift` invocation;
     it deduplicates the traced inputs once, tracks the fingerprint of
     the last module state known to reproduce the traces, and fans
-    replay sweeps out over ``jobs`` worker processes.
+    replay sweeps out over ``jobs`` worker processes drawn from one
+    reusable :class:`~repro.parallel.ForkPool` (callers that finish a
+    pipeline run should :meth:`close` it).
     """
 
     def __init__(self, traces: TraceSet, jobs: int = 1):
@@ -139,6 +140,16 @@ class ReplayEngine:
         #: Diagnostics accumulated across sweeps (merged into pipeline
         #: notes by the driver).
         self.notes: list[str] = []
+        #: Shared fork pool, reused across sweeps while the module's
+        #: content fingerprint is unchanged.
+        self.pool = ForkPool(self.jobs)
+        #: Forces a respawn for sweeps without a content key (baseline
+        #: mode keeps the historical pool-per-stage behaviour).
+        self._unkeyed = 0
+
+    def close(self) -> None:
+        """Release the worker pool (end of the pipeline run)."""
+        self.pool.close()
 
     @property
     def unique_inputs(self) -> list[list]:
@@ -185,7 +196,7 @@ class ReplayEngine:
             order = sorted(self.unique,
                            key=lambda i: (results[i].cycles, i))
             if self.jobs > 1 and len(order) > 1:
-                failure = self._validate_parallel(module, order)
+                failure = self._validate_parallel(module, order, fp)
             else:
                 failure = self._validate_serial(module, order)
             if failure is not None:
@@ -212,30 +223,30 @@ class ReplayEngine:
                 return index, reason, interp_error
         return None
 
-    def _validate_parallel(self, module, order):
+    def _validate_parallel(self, module, order, fp: str | None):
         try:
-            pool = self._pool(module, len(order))
+            pool = self._acquire(module, len(order), fp)
         except Exception:
             return self._validate_serial(module, order)
         position = {i: pos for pos, i in enumerate(order)}
         failures: list[tuple] = []
         try:
-            with pool:
-                futures = [pool.submit(_validate_worker, i)
-                           for i in order]
-                for future in as_completed(futures):
-                    (index, ok, reason, interp_error,
-                     payload) = future.result()
-                    obs.merge_payload(payload)
-                    obs.count("replay.runs")
-                    if not ok:
-                        failures.append((index, reason, interp_error))
-                        # Early exit: drop the runs still queued.
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        break
+            futures = [pool.submit(_validate_worker, i) for i in order]
+            for future in as_completed(futures):
+                (index, ok, reason, interp_error,
+                 payload) = future.result()
+                obs.merge_payload(payload)
+                obs.count("replay.runs")
+                if not ok:
+                    failures.append((index, reason, interp_error))
+                    # Early exit: drop the runs still queued.  The
+                    # cancelled executor cannot be reused.
+                    self.pool.invalidate(cancel=True)
+                    break
         except Exception:
             # A broken pool (OOM-killed worker, missing fork support
             # surfacing late): replaying serially is idempotent.
+            self.pool.invalidate()
             return self._validate_serial(module, order)
         if not failures:
             return None
@@ -275,18 +286,19 @@ class ReplayEngine:
 
     def _bounds_parallel(self, module, order):
         try:
-            pool = self._pool(module, len(order))
+            pool = self._acquire(module, len(order),
+                                 None if self.baseline
+                                 else module_fingerprint(module))
         except Exception:
             return None
         snapshots: dict[int, dict] = {}
         try:
-            with pool:
-                futures = [pool.submit(_bounds_worker, i) for i in order]
-                for future in as_completed(futures):
-                    index, snapshot, payload = future.result()
-                    obs.merge_payload(payload)
-                    obs.count("replay.runs")
-                    snapshots[index] = snapshot
+            futures = [pool.submit(_bounds_worker, i) for i in order]
+            for future in as_completed(futures):
+                index, snapshot, payload = future.result()
+                obs.merge_payload(payload)
+                obs.count("replay.runs")
+                snapshots[index] = snapshot
         except SymbolizeError:
             raise
         except Exception as exc:
@@ -294,22 +306,27 @@ class ReplayEngine:
             # sweep; only pool-transport failures fall back.
             if type(exc).__name__ in ("BrokenProcessPool",
                                       "PicklingError"):
+                self.pool.invalidate()
                 return None
             raise
         return snapshots
 
     # -- pool ----------------------------------------------------------------
 
-    def _pool(self, module: Module, ntasks: int) -> ProcessPoolExecutor:
-        """A fork-context pool whose workers inherit the module.
+    def _acquire(self, module: Module, ntasks: int, fp: str | None):
+        """An executor whose workers inherit the module's current state.
 
-        ``_CTX`` is published before the fork so workers read the
-        current module state from memory instead of unpickling a deep,
-        cyclic IR graph.
+        Keyed on the module's content fingerprint (plus the obs
+        activation state, which workers latch at fork): consecutive
+        sweeps over unchanged content share one set of forked workers;
+        a content change — or a sweep without a fingerprint (baseline
+        mode) — respawns.
         """
-        global _CTX
-        _CTX = (module, self.traces.inputs, self.traces.results,
-                obs.enabled())
-        ctx = multiprocessing.get_context("fork")
-        return ProcessPoolExecutor(max_workers=min(self.jobs, ntasks),
-                                   mp_context=ctx)
+        if fp is None:
+            self._unkeyed += 1
+            key = ("replay-unkeyed", self._unkeyed)
+        else:
+            key = ("replay", fp, obs.enabled())
+        ctx = (module, self.traces.inputs, self.traces.results,
+               obs.enabled())
+        return self.pool.acquire(key, ctx, ntasks)

@@ -30,9 +30,11 @@ from repro.opt import (
     OptOptions,
     canonicalize_module,
     clear_memo,
+    close_opt_pool,
     drop_unused_private_functions,
     optimize_module,
 )
+from repro.opt import manager as manager_mod
 from repro.recompile.link import compile_ir
 from tests.conftest import FEATURE_SOURCE, KERNEL_SOURCE
 
@@ -43,6 +45,7 @@ def fresh_memo():
     clear_memo()
     yield
     clear_memo()
+    close_opt_pool()
 
 
 def _optimized_pair(source, opts, monkeypatch):
@@ -235,3 +238,97 @@ def test_version_bump_with_same_content_served_by_memo():
     counters = _counters_for(lambda: optimize_module(module, opts))
     assert not _pass_runs(counters)
     assert counters.get("opt.manager.memo_hits", 0) == 1
+
+
+# -- parallel worklist visits (jobs > 1) --------------------------------------
+
+
+@pytest.mark.parametrize("level", ["o0", "o1", "o2", "o3"])
+@pytest.mark.parametrize("source", [FEATURE_SOURCE, KERNEL_SOURCE],
+                         ids=["feature", "kernel"])
+def test_parallel_jobs_byte_identical_ir(source, level):
+    """jobs=4 worklist output is byte-identical to serial at every
+    optimization level, from the same cold start."""
+    opts = getattr(OptOptions, level)()
+    serial = compile_to_ir(source, name="t", config=None)
+    optimize_module(serial, opts, jobs=1)
+    clear_memo()  # the parallel run starts equally cold
+    par = compile_to_ir(source, name="t", config=None)
+    optimize_module(par, opts, jobs=4)
+    verify_module(par)
+    assert module_to_text(par) == module_to_text(serial)
+
+
+@pytest.mark.parametrize("level", ["o1", "o3"])
+def test_parallel_jobs_byte_identical_binary(level):
+    opts = getattr(OptOptions, level)()
+    serial = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    optimize_module(serial, opts, jobs=1)
+    clear_memo()
+    par = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    optimize_module(par, opts, jobs=4)
+    assert compile_ir(par).to_json() == compile_ir(serial).to_json()
+
+
+def test_parallel_canonicalize_byte_identical():
+    serial = compile_to_ir(KERNEL_SOURCE, name="t", config=None)
+    canonicalize_module(serial, jobs=1)
+    clear_memo()
+    par = compile_to_ir(KERNEL_SOURCE, name="t", config=None)
+    canonicalize_module(par, jobs=4)
+    assert module_to_text(par) == module_to_text(serial)
+
+
+def test_parallel_visits_really_fan_out():
+    """Guard against a silent serial fallback: with jobs=4 the pool
+    path must actually run (visits counted, a pool spawned)."""
+    opts = OptOptions.o2()
+    module = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    counters = _counters_for(
+        lambda: optimize_module(module, opts, jobs=4))
+    assert counters.get("opt.manager.parallel_visits", 0) > 0
+    assert counters.get("parallel.pool.spawns", 0) >= 1
+
+
+def test_opt_jobs_env_sets_default(monkeypatch):
+    monkeypatch.setenv("REPRO_OPT_JOBS", "3")
+    assert manager_mod.opt_jobs_default() == 3
+    serial = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    monkeypatch.delenv("REPRO_OPT_JOBS")
+    optimize_module(serial, OptOptions.o2())
+    clear_memo()
+    monkeypatch.setenv("REPRO_OPT_JOBS", "4")
+    par = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    counters = _counters_for(
+        lambda: optimize_module(par, OptOptions.o2()))
+    assert counters.get("opt.manager.parallel_visits", 0) > 0
+    assert module_to_text(par) == module_to_text(serial)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_budget_exhausted_function_not_memoized(jobs):
+    """Regression (memo poisoning): a function still changing when the
+    round budget runs out must not enter the fixpoint memo -- neither
+    from a serial visit nor from a pool worker's partial result."""
+    opts = OptOptions(level=2, inline=False, rounds=1)
+    module = compile_to_ir(FEATURE_SOURCE, name="t", config=None)
+    entry_fps = {name: manager_mod.function_fingerprint(f)
+                 for name, f in module.functions.items()}
+    manager = manager_mod.PassManager(
+        module, manager_mod.build_function_pipeline(opts, module),
+        ("opt", opts), rounds=1, jobs=jobs)
+    manager.run()
+    # The single round is not enough for functions the schedule changes.
+    assert manager.unresolved
+    token = (("opt", opts), manager_mod._module_context(module))
+    for name in manager.unresolved:
+        partial_fp = manager_mod.function_fingerprint(
+            module.functions[name])
+        assert not manager_mod._memo_get((token, entry_fps[name]))
+        assert not manager_mod._memo_get((token, partial_fp))
+    # And the unresolved functions keep making progress on a re-run
+    # instead of being skipped off the poisoned entry.
+    counters = _counters_for(lambda: manager_mod.PassManager(
+        module, manager_mod.build_function_pipeline(opts, module),
+        ("opt", opts), rounds=1, jobs=jobs).run())
+    assert _pass_runs(counters)

@@ -1,0 +1,93 @@
+"""The shared fork-pool utility (repro.parallel.ForkPool)."""
+
+import pytest
+
+from repro import obs
+from repro.parallel import ForkPool, publish_ctx, worker_ctx
+
+
+def _echo_ctx(index: int):
+    """Worker: combine the inherited context with the task index."""
+    tag, values = worker_ctx()
+    return tag, values[index]
+
+
+@pytest.fixture
+def counters():
+    rec = obs.enable(reset=True)
+    yield rec.registry.counters
+    obs.disable()
+
+
+def _drain(pool, executor, n):
+    return sorted(executor.submit(_echo_ctx, i).result()
+                  for i in range(n))
+
+
+def test_workers_read_published_ctx(counters):
+    pool = ForkPool(2)
+    try:
+        executor = pool.acquire("key-a", ("a", [10, 20]), ntasks=2)
+        assert _drain(pool, executor, 2) == [("a", 10), ("a", 20)]
+        assert counters.get("parallel.pool.spawns") == 1
+    finally:
+        pool.close()
+
+
+def test_same_key_reuses_live_pool(counters):
+    pool = ForkPool(2)
+    try:
+        first = pool.acquire("key", ("a", [1, 2]), ntasks=2)
+        _drain(pool, first, 2)
+        second = pool.acquire("key", ("a", [1, 2]), ntasks=2)
+        assert second is first
+        assert counters.get("parallel.pool.spawns") == 1
+        assert counters.get("parallel.pool.reuses") == 1
+    finally:
+        pool.close()
+
+
+def test_key_change_respawns(counters):
+    pool = ForkPool(2)
+    try:
+        first = pool.acquire("key-1", ("a", [1]), ntasks=1)
+        _drain(pool, first, 1)
+        second = pool.acquire("key-2", ("b", [2]), ntasks=1)
+        assert second is not first
+        # The fresh workers see the new context, not the stale one.
+        assert second.submit(_echo_ctx, 0).result() == ("b", 2)
+        assert counters.get("parallel.pool.spawns") == 2
+        assert counters.get("parallel.pool.reuses", 0) == 0
+    finally:
+        pool.close()
+
+
+def test_invalidate_forces_respawn(counters):
+    pool = ForkPool(2)
+    try:
+        first = pool.acquire("key", ("a", [1]), ntasks=1)
+        _drain(pool, first, 1)
+        pool.invalidate()
+        assert not pool.alive
+        second = pool.acquire("key", ("a", [1]), ntasks=1)
+        assert second is not first
+        assert _drain(pool, second, 1) == [("a", 1)]
+        assert counters.get("parallel.pool.spawns") == 2
+    finally:
+        pool.close()
+
+
+def test_worker_count_bounded_by_tasks():
+    pool = ForkPool(8)
+    try:
+        executor = pool.acquire("key", ("a", [1, 2]), ntasks=2)
+        assert executor._max_workers == 2
+    finally:
+        pool.close()
+
+
+def test_publish_ctx_updates_global():
+    publish_ctx(("tag", [99]))
+    assert worker_ctx() == ("tag", [99])
+    publish_ctx(None)
+    assert worker_ctx() is None

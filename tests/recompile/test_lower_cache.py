@@ -1,0 +1,182 @@
+"""The fingerprint-keyed lowering cache (repro.recompile.lower).
+
+Guarantees:
+
+* **Transparency** — ``compile_ir`` output is byte-identical with the
+  cache on (cold and warm) and off, at every optimization level.
+* **Warm path** — recompiling unchanged IR hits for every function
+  (including across the in-place phi-edge split), and a one-function
+  edit re-lowers exactly that function.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cc.driver import compile_to_ir
+from repro.ir import Builder, Function, Module
+from repro.ir.values import BinOp, Const
+from repro.opt import OptOptions, clear_memo, optimize_module
+from repro.recompile import (
+    LowerOptions,
+    clear_lower_cache,
+    compile_ir,
+    lower_cache_enabled,
+)
+from repro.recompile import lower as lower_mod
+from tests.conftest import FEATURE_SOURCE, KERNEL_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_lower_cache()
+    clear_memo()
+    yield
+    clear_lower_cache()
+    clear_memo()
+
+
+def _counters_for(fn):
+    obs.enable(reset=True)
+    try:
+        fn()
+        return obs.export_payload()["metrics"]["counters"]
+    finally:
+        obs.disable()
+
+
+def _cache_stats(counters):
+    return {k.rsplit(".", 1)[-1]: v for k, v in counters.items()
+            if k.startswith("lower.cache.")}
+
+
+def _module(source=FEATURE_SOURCE, level=None):
+    m = compile_to_ir(source, name="t", config=None)
+    if level is not None:
+        optimize_module(m, getattr(OptOptions, level)())
+    return m
+
+
+# -- transparency -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("level", ["o0", "o1", "o2", "o3"])
+@pytest.mark.parametrize("source", [FEATURE_SOURCE, KERNEL_SOURCE],
+                         ids=["feature", "kernel"])
+def test_cache_on_off_byte_identical(source, level, monkeypatch):
+    module = _module(source, level)
+    cold = compile_ir(module).to_json()
+    warm = compile_ir(module).to_json()
+    monkeypatch.setenv("REPRO_LOWER_CACHE", "0")
+    assert not lower_cache_enabled()
+    off = compile_ir(module).to_json()
+    assert cold == warm == off
+
+
+def test_cache_off_records_nothing(monkeypatch):
+    monkeypatch.setenv("REPRO_LOWER_CACHE", "0")
+    module = _module()
+    counters = _counters_for(lambda: compile_ir(module))
+    assert not _cache_stats(counters)
+    assert not lower_mod._CACHE
+
+
+# -- warm path ----------------------------------------------------------------
+
+
+def test_warm_compile_hits_every_function():
+    module = _module()
+    nfuncs = len(module.functions)
+    cold = _cache_stats(_counters_for(lambda: compile_ir(module)))
+    assert cold.get("misses") == nfuncs
+    assert cold.get("hits", 0) == 0
+    warm = _cache_stats(_counters_for(lambda: compile_ir(module)))
+    assert warm.get("hits") == nfuncs
+    assert warm.get("misses", 0) == 0
+
+
+def _phi_loop_module():
+    """A loop-carried phi behind a critical edge (condbr back into the
+    phi block), so lowering must split an edge in place."""
+    m = Module()
+    f = Function("main", [])
+    m.add_function(f)
+    m.entry_name = "main"
+    b = Builder(f)
+    entry = f.add_block("entry")
+    loop = f.add_block("loop")
+    done = f.add_block("done")
+    b.position(entry)
+    b.br(loop)
+    b.position(loop)
+    i = b.phi([])
+    i.add_incoming(entry, Const(0))
+    nxt = b.add(i, Const(1))
+    i.add_incoming(loop, nxt)
+    cond = b.icmp("slt", nxt, Const(5))
+    b.condbr(cond, loop, done)
+    b.position(done)
+    b.ret([i])
+    return m
+
+
+def test_warm_across_phi_split_mutation():
+    """Lowering splits phi edges in place, changing the function's
+    fingerprint; the double-keyed entry still serves the re-lower of
+    the same mutated module object."""
+    module = _phi_loop_module()
+    nblocks = len(module.functions["main"].blocks)
+    compile_ir(module)
+    assert len(module.functions["main"].blocks) > nblocks, \
+        "workload has no phi edges to split; pick a phi-ful module"
+    warm = _cache_stats(_counters_for(lambda: compile_ir(module)))
+    assert warm.get("misses", 0) == 0
+    assert warm.get("hits") == len(module.functions)
+
+
+def test_one_function_edit_relowers_exactly_one():
+    module = _module()
+    nfuncs = len(module.functions)
+    compile_ir(module)
+    victim = next(iter(module.functions.values()))
+    victim.entry.insert(0, BinOp("add", Const(1), Const(2)))
+    victim.invalidate()
+    stats = _cache_stats(_counters_for(lambda: compile_ir(module)))
+    assert stats.get("misses") == 1
+    assert stats.get("hits") == nfuncs - 1
+    assert stats.get("invalidations") == 1
+
+
+def test_fresh_copy_with_same_content_is_warm():
+    """The key is content, not object identity: rebuilding the module
+    from the same source compiles fully warm."""
+    compile_ir(_module())
+    stats = _cache_stats(_counters_for(lambda: compile_ir(_module())))
+    assert stats.get("misses", 0) == 0
+
+
+def test_options_are_part_of_the_key():
+    module = _module()
+    compile_ir(module)
+    stats = _cache_stats(_counters_for(
+        lambda: compile_ir(module, LowerOptions(frame_pointer=False))))
+    assert stats.get("hits", 0) == 0
+    assert stats.get("misses") == len(module.functions)
+
+
+def test_address_table_is_part_of_the_context():
+    module = _module()
+    ctx_plain = lower_mod._lower_context(module)
+    module.address_table[0x1000] = next(iter(module.functions))
+    assert lower_mod._lower_context(module) != ctx_plain
+
+
+def test_lru_bound_evicts_oldest(monkeypatch):
+    monkeypatch.setattr(lower_mod, "_CACHE_MAX", 2)
+    module = _module()
+    assert len(module.functions) > 2
+    compile_ir(module)
+    assert len(lower_mod._CACHE) <= 2
+    # Evicted functions re-lower; the bound holds, output is unchanged.
+    again = compile_ir(module)
+    assert len(lower_mod._CACHE) <= 2
+    assert again.to_json() == compile_ir(module).to_json()

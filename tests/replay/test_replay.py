@@ -241,3 +241,45 @@ def test_run_instrumented_parallel_merges_deterministically():
             for n, lo in layouts1.items()} == \
            {n: [(v.start, v.end) for v in lo.variables]
             for n, lo in layouts4.items()}
+
+
+# -- fork-pool reuse across stages --------------------------------------------
+
+
+def test_pool_reused_across_sweeps_over_unchanged_module():
+    """Consecutive parallel sweeps over the same module content share
+    one set of forked workers instead of spawning a pool per stage."""
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    rec = obs.enable(reset=True)
+    try:
+        engine = ReplayEngine(traces, jobs=2)
+        try:
+            engine.run_instrumented(module)
+            engine.run_instrumented(module)
+            counters = rec.registry.counters
+            assert counters.get("parallel.pool.spawns") == 1
+            assert counters.get("parallel.pool.reuses", 0) >= 1
+        finally:
+            engine.close()
+    finally:
+        obs.disable()
+
+
+def test_pool_respawns_when_module_mutates():
+    _image, traces = _traced()
+    module = lift_traces(traces)
+    rec = obs.enable(reset=True)
+    try:
+        engine = ReplayEngine(traces, jobs=2)
+        try:
+            engine.run_instrumented(module)
+            func = next(iter(module.functions.values()))
+            func.entry.insert(0, BinOp("add", Const(1), Const(2)))
+            engine.run_instrumented(module)
+            assert rec.registry.counters.get(
+                "parallel.pool.spawns") == 2
+        finally:
+            engine.close()
+    finally:
+        obs.disable()

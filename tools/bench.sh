@@ -23,6 +23,12 @@
 # fixpoint wall time of the incremental worklist pass manager against
 # the legacy fixed schedule (REPRO_PASS_BASELINE=1) on a
 # duplicated-stage workload, plus skip/requeue rates.
+#
+# The backend benches run as a fifth pass and emit BENCH_lower.json:
+# cold vs warm compile_ir through the fingerprint-keyed lowering cache
+# (warm hit rate, functions re-lowered after a one-function edit) and
+# the parallel per-function optimizer (jobs=4) against the legacy
+# schedule.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,6 +37,7 @@ OUT="${BENCH_JSON:-BENCH_engine.json}"
 OBS_OUT="${BENCH_OBS_JSON:-BENCH_obs.json}"
 REPLAY_OUT="${BENCH_REPLAY_JSON:-BENCH_replay.json}"
 OPT_OUT="${BENCH_OPT_JSON:-BENCH_opt.json}"
+LOWER_OUT="${BENCH_LOWER_JSON:-BENCH_lower.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -60,3 +67,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_opt.py \
     -p no:cacheprovider
 
 echo "optimizer benchmark report written to $OPT_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_lower.py \
+    --benchmark-only \
+    --benchmark-json "$LOWER_OUT" \
+    -p no:cacheprovider
+
+echo "backend benchmark report written to $LOWER_OUT"
