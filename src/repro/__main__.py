@@ -10,6 +10,12 @@ Commands mirror the toolchain a downstream user needs:
 * ``check``     run the static corroboration + sanitizer suite and
   print the findings (exit 1 on errors; ``--strict`` fails on
   warnings too)
+* ``explain``   run the layout pipeline with the event ledger on and
+  print the provenance chain (seeds, merges, widenings, findings)
+  behind each recovered variable (``--var fn_08048000:sv_m8``)
+* ``obs diff``  structural diff of two observability JSON reports
+* ``obs regress``  perf-regression gate: fresh pytest-benchmark JSONs
+  vs committed baselines, exit 1 past tolerance
 * ``eval``      regenerate the paper's tables and figures
 
 Inputs are passed as ``--input int:N bytes:TEXT ...``; a ``/`` item
@@ -18,7 +24,8 @@ separates multiple runs (e.g. ``--input int:1 / int:2``).
 Observability: ``--obs-out report.json`` (or ``REPRO_OBS=1`` in the
 environment) activates :mod:`repro.obs` — the command then prints a
 per-stage summary table to stderr, and ``--obs-out`` additionally
-writes the full JSON report.
+writes the full JSON report.  ``--ledger events.jsonl`` (or
+``REPRO_LEDGER=...``) additionally records the structured event ledger.
 """
 
 from __future__ import annotations
@@ -142,6 +149,59 @@ def cmd_check(args) -> int:
     return 1 if failing else 0
 
 
+def cmd_explain(args) -> int:
+    image = BinaryImage.from_json(Path(args.image).read_text())
+    runs = _parse_inputs(args.input)
+    # The provenance query needs the event stream of *this* run: unless
+    # the user pointed the ledger at a file, record in memory.
+    led = obs.ledger()
+    owned = led is None
+    if owned:
+        led = obs.enable_ledger()
+    try:
+        result = wytiwyg_recompile(
+            image, runs, optimize=False, collect_accuracy=False,
+            jobs=args.jobs,
+            static_widen=True if args.widen else None)
+        events = (led.events if led.path is None
+                  else obs.read_events(led.path))
+        try:
+            pairs = list(obs.select_variables(result.layouts, args.var))
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        for func, var in pairs:
+            prov = obs.explain_variable(events, func,
+                                        (var.start, var.end), var.name)
+            print(obs.render_provenance(prov))
+    finally:
+        if owned:
+            obs.disable_ledger()
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    a = json.loads(Path(args.a).read_text())
+    b = json.loads(Path(args.b).read_text())
+    diff = obs.diff_reports(a, b, ratio_threshold=args.ratio_threshold)
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(obs.render_diff(diff))
+    return 0
+
+
+def cmd_obs_regress(args) -> int:
+    baseline = obs.load_benchmarks(args.baseline)
+    fresh = obs.load_benchmarks(args.fresh)
+    result = obs.regress(baseline, fresh, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(obs.render_regress(result))
+    return 0 if result["ok"] else 1
+
+
 def cmd_eval(args) -> int:
     from examples.run_paper_eval import main as eval_main  # pragma: no cover
     return eval_main(["--full"] if args.full else [])
@@ -153,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
         "--obs-out", metavar="PATH", default=None,
         help="enable observability and write the JSON report here "
              "(a per-stage summary also goes to stderr)")
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="record the structured event ledger (JSONL) to this file "
+             "(equivalent to REPRO_LEDGER=PATH)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile MiniC to a binary image")
@@ -214,6 +278,55 @@ def main(argv: list[str] | None = None) -> int:
                    help="also write the report as JSON")
     p.set_defaults(func=cmd_check)
 
+    p = sub.add_parser(
+        "explain",
+        help="provenance chain behind recovered stack variables")
+    p.add_argument("image")
+    p.add_argument("--input", nargs="*", default=[])
+    p.add_argument("--var", metavar="SPEC", default=None,
+                   help="which variable(s) to explain: FUNC:NAME one "
+                        "variable (e.g. fn_08048000:sv_m8), NAME every "
+                        "function's variable of that name, FUNC the "
+                        "whole frame; default: everything")
+    p.add_argument("--widen", action="store_true",
+                   help="apply coverage-gap widening suggestions "
+                        "(REPRO_STATIC_WIDEN) so their ledger events "
+                        "appear in the chain")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan replay sweeps out over N worker processes")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "obs", help="observability artifact tools (diff, regress)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "diff", help="structural diff of two obs JSON reports")
+    q.add_argument("a")
+    q.add_argument("b")
+    q.add_argument("--ratio-threshold", type=float, default=0.2,
+                   metavar="R",
+                   help="ignore timer/histogram mean shifts below this "
+                        "relative change (default 0.2)")
+    q.add_argument("--json", action="store_true",
+                   help="print the diff as JSON instead of text")
+    q.set_defaults(func=cmd_obs_diff)
+
+    q = obs_sub.add_parser(
+        "regress",
+        help="perf gate: fresh pytest-benchmark JSONs vs baselines")
+    q.add_argument("--baseline", nargs="+", required=True,
+                   metavar="JSON",
+                   help="committed baseline pytest-benchmark JSON(s)")
+    q.add_argument("--fresh", nargs="+", required=True, metavar="JSON",
+                   help="freshly produced pytest-benchmark JSON(s)")
+    q.add_argument("--tolerance", type=float, default=1.5, metavar="X",
+                   help="fail when fresh mean > X * baseline mean "
+                        "(default 1.5)")
+    q.add_argument("--json", action="store_true",
+                   help="print the verdict as JSON instead of text")
+    q.set_defaults(func=cmd_obs_regress)
+
     p = sub.add_parser("eval", help="regenerate the paper's evaluation")
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_eval)
@@ -221,7 +334,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.obs_out:
         obs.enable()
-    status = args.func(args)
+    if args.ledger:
+        obs.enable_ledger(args.ledger)
+    try:
+        status = args.func(args)
+    finally:
+        if args.ledger:
+            obs.disable_ledger()
     rec = obs.recorder()
     if rec is not None:
         doc = obs.export(rec)

@@ -300,6 +300,15 @@ def _lift_with_engine(engine: ReplayEngine, traces: TraceSet,
                 lints.extend(found)
                 if observing:
                     fsp.set(findings=len(found))
+                if obs.ledger() is not None:
+                    for finding in found:
+                        obs.event("sanitize.finding",
+                                  severity=finding.severity,
+                                  finding=finding.kind,
+                                  func=finding.func,
+                                  offset=finding.offset,
+                                  width=finding.width,
+                                  message=finding.message)
         report.extend(lints)
         counts = _count_findings(lints)
         if observing:
@@ -338,6 +347,14 @@ def _static_corroborate(module: Module,
                     fsp.set(accesses=len(access_set.accesses),
                             known_offsets=len(access_set.known_offsets))
         findings, suggestions = corroborate_layouts(accesses, layouts)
+        if obs.ledger() is not None:
+            for finding in findings:
+                obs.event("corroborate.finding",
+                          severity=finding.severity,
+                          finding=finding.kind, func=finding.func,
+                          offset=finding.offset, width=finding.width,
+                          message=finding.message,
+                          provenance=finding.provenance)
         if static_widen and suggestions:
             rows = apply_widenings(layouts, suggestions)
             report.widenings.extend(rows)
@@ -387,6 +404,9 @@ def wytiwyg_recompile(image: BinaryImage,
     """
     observing = obs.enabled()
     check = _resolve_check(check)
+    obs.event("run.start", pipeline="wytiwyg",
+              image=image.metadata.get("name"), inputs=len(inputs),
+              hybrid=hybrid, optimize=optimize)
     with obs.span("pipeline.wytiwyg", hybrid=hybrid) as pipeline_span:
         with obs.span("stage.trace", cached=traces is not None) as sp:
             if traces is None:
@@ -457,5 +477,9 @@ def wytiwyg_recompile(image: BinaryImage,
                     accuracy_precision=accuracy.precision,
                     accuracy_recall=accuracy.recall,
                     accuracy_counts=dict(accuracy.counts))
+    obs.event("run.finish", pipeline="wytiwyg", fallback=fallback,
+              stack_variables=sum(len(lo.variables)
+                                  for lo in layouts.values()),
+              notes=list(notes))
     return WytiwygResult(module, recovered, layouts, accuracy,
                          fallback, notes, check_report=report)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from .instrument import ModuleInstrumentation
 from .runtime import TracingRuntime
 
@@ -101,10 +102,19 @@ def build_frame_layout(func_name: str,
         FrameVariable(iv[0], iv[1], aligns.get(rid, 4), {rid})
         for rid, iv in intervals.items() if iv is not None
     ]
+    if obs.ledger() is not None:
+        for rid, iv in sorted(intervals.items()):
+            if iv is None:
+                continue
+            var = runtime.stack_vars.get(rid)
+            obs.event("frame.var.seed", func=func_name, ref_id=rid,
+                      interval=[iv[0], iv[1]],
+                      sp0_offset=frame_refs[rid],
+                      traced=[var.low, var.high])
     links = [tuple(pair) for pair in runtime.links
              if all(r in intervals and intervals[r] is not None
                     for r in pair)]
-    groups = _merge_to_fixpoint(groups, links)
+    groups = _merge_to_fixpoint(groups, links, func_name=func_name)
 
     layout.variables = groups
     for var in layout.variables:
@@ -123,6 +133,9 @@ def build_frame_layout(func_name: str,
                 var.ref_ids.add(rid)
                 layout.ref_to_var[rid] = var
                 pending.remove(rid)
+                obs.event("frame.var.attach", func=func_name,
+                          ref_id=rid, method="link",
+                          interval=[var.start, var.end])
     singletons: list[FrameVariable] = []
     for rid in list(pending):
         off = frame_refs[rid]
@@ -135,6 +148,12 @@ def build_frame_layout(func_name: str,
             home = FrameVariable(off, off + 4, aligns.get(rid, 4), set())
             singletons.append(home)
             layout.variables.append(home)
+            obs.event("frame.var.attach", func=func_name, ref_id=rid,
+                      method="singleton", interval=[off, off + 4])
+        else:
+            obs.event("frame.var.attach", func=func_name, ref_id=rid,
+                      method="positional",
+                      interval=[home.start, home.end])
         home.ref_ids.add(rid)
         layout.ref_to_var[rid] = home
         pending.remove(rid)
@@ -142,7 +161,8 @@ def build_frame_layout(func_name: str,
     # Speculative singletons may overlap established variables; one more
     # merge round restores disjointness.
     if singletons:
-        layout.variables = _merge_to_fixpoint(layout.variables, [])
+        layout.variables = _merge_to_fixpoint(layout.variables, [],
+                                              func_name=func_name)
         layout.ref_to_var = {rid: var for var in layout.variables
                              for rid in var.ref_ids}
     layout.variables.sort(key=lambda v: v.start)
@@ -150,14 +170,15 @@ def build_frame_layout(func_name: str,
 
 
 def _merge_to_fixpoint(groups: list[FrameVariable],
-                       links: list[tuple[int, int]]) -> list:
+                       links: list[tuple[int, int]],
+                       func_name: str | None = None) -> list:
     while True:
         changed = False
         groups.sort(key=lambda v: v.start)
         merged: list[FrameVariable] = []
         for var in groups:
             if merged and var.start < merged[-1].end:
-                _absorb(merged[-1], var)
+                _absorb(merged[-1], var, func_name, "overlap")
                 changed = True
             else:
                 merged.append(var)
@@ -166,7 +187,7 @@ def _merge_to_fixpoint(groups: list[FrameVariable],
         for a, b in links:
             va, vb = by_ref.get(a), by_ref.get(b)
             if va is not None and vb is not None and va is not vb:
-                _absorb(va, vb)
+                _absorb(va, vb, func_name, "link")
                 groups.remove(vb)
                 by_ref.update({rid: va for rid in va.ref_ids})
                 changed = True
@@ -174,7 +195,13 @@ def _merge_to_fixpoint(groups: list[FrameVariable],
             return groups
 
 
-def _absorb(into: FrameVariable, other: FrameVariable) -> None:
+def _absorb(into: FrameVariable, other: FrameVariable,
+            func_name: str | None = None,
+            reason: str = "overlap") -> None:
+    if func_name is not None and obs.ledger() is not None:
+        obs.event("frame.var.merge", func=func_name, reason=reason,
+                  into=[into.start, into.end],
+                  absorbed=[other.start, other.end])
     into.start = min(into.start, other.start)
     into.end = max(into.end, other.end)
     into.align = max(into.align, other.align)
@@ -220,15 +247,26 @@ def apply_widenings(layouts: dict[str, FrameLayout],
         # "Already covered" means one variable spans the whole region.
         if any(v.start <= sug.start and sug.end <= v.end
                for v in overlapping):
+            obs.event("frame.var.widened", func=sug.func,
+                      region=[sug.start, sug.end], applied=False,
+                      reason=getattr(sug, "reason", ""))
             continue
         row["applied"] = True
         if overlapping:
             anchor = overlapping[0]
+            obs.event("frame.var.widened", func=sug.func,
+                      region=[sug.start, sug.end], applied=True,
+                      grew=[anchor.start, anchor.end],
+                      reason=getattr(sug, "reason", ""))
             anchor.start = min(anchor.start, sug.start)
             anchor.end = max(anchor.end, sug.end)
         else:
+            obs.event("frame.var.widened", func=sug.func,
+                      region=[sug.start, sug.end], applied=True,
+                      grew=None, reason=getattr(sug, "reason", ""))
             layout.variables.append(FrameVariable(sug.start, sug.end))
-        layout.variables = _merge_to_fixpoint(layout.variables, [])
+        layout.variables = _merge_to_fixpoint(layout.variables, [],
+                                              func_name=sug.func)
         layout.ref_to_var = {rid: var for var in layout.variables
                              for rid in var.ref_ids}
         layout.variables.sort(key=lambda v: v.start)

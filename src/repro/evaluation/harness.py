@@ -236,6 +236,7 @@ def _measure_cell_task(task):
         # also inherits the parent's pre-fork data — either would be
         # double-counted when the parent merges this task's payload.
         obs.enable(reset=True)
+    obs.fork_begin()
     result = measure_cell(WORKLOADS[name], compiler, opt_level,
                           use_cache, include_secondwrite,
                           replay_jobs=replay_jobs, opt_jobs=opt_jobs)

@@ -17,6 +17,7 @@ working unchanged.
 
 from __future__ import annotations
 
+from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet
 from ..errors import LiftError
@@ -604,10 +605,17 @@ def lift_traces(traces: TraceSet, name: str = "lifted",
         fixed_addr=EMUSTACK_BASE))
 
     entries = set(functions)
+    ledgered = obs.ledger() is not None
     for entry, rfunc in functions.items():
         translator = FunctionTranslator(rfunc, cfg, module, entries)
-        module.add_function(translator.translate())
+        func = translator.translate()
+        module.add_function(func)
         module.address_table[entry] = rfunc.name
+        if ledgered:
+            obs.event("lift.function", function=rfunc.name,
+                      entry=entry, blocks=len(func.blocks),
+                      static_blocks=len(func.meta.get("static_blocks",
+                                                      ())))
 
     # Wrapper entry: set up the emulated stack and call the original
     # entry function.

@@ -41,8 +41,34 @@ Typical use::
     print(obs.summary(doc), file=sys.stderr)
 """
 
+from . import events
+from .diff import (
+    diff_reports,
+    load_benchmarks,
+    regress,
+    render_diff,
+    render_regress,
+)
+from .events import (
+    EVENT_KINDS,
+    LEDGER_SCHEMA_VERSION,
+    EventLedger,
+    disable_ledger,
+    enable_ledger,
+    event,
+    fork_begin,
+    ledger,
+    read_events,
+)
 from .metrics import Histogram, MetricsRegistry
 from .profile import Profile
+from .provenance import (
+    VariableProvenance,
+    explain_variable,
+    parse_var_name,
+    render_provenance,
+    select_variables,
+)
 from .recorder import (
     Recorder,
     count,
@@ -59,29 +85,47 @@ from .report import export, iter_spans, summary, write_json
 from .spans import NULL_SPAN, Span
 
 __all__ = [
-    "Histogram", "MetricsRegistry", "NULL_SPAN", "Profile", "Recorder",
-    "Span", "count", "disable", "enable", "enabled", "export",
-    "export_payload", "gauge", "iter_spans", "merge_payload", "observe",
-    "recorder", "span", "summary", "timed", "write_json",
+    "EVENT_KINDS", "EventLedger", "Histogram", "LEDGER_SCHEMA_VERSION",
+    "MetricsRegistry", "NULL_SPAN", "Profile", "Recorder", "Span",
+    "VariableProvenance", "count", "diff_reports", "disable",
+    "disable_ledger", "enable", "enable_ledger", "enabled", "event",
+    "explain_variable", "export", "export_payload", "fork_begin",
+    "gauge", "iter_spans", "ledger", "load_benchmarks",
+    "merge_payload", "observe",
+    "parse_var_name", "read_events", "recorder", "regress",
+    "render_diff", "render_provenance", "render_regress",
+    "select_variables", "span", "summary", "timed", "write_json",
 ]
 
 
 def export_payload(top: int = 50) -> dict | None:
     """Serialize the active recorder for hand-off to another process
     (a ``sweep`` worker reporting back to its parent), or None when
-    observability is disabled."""
+    observability is disabled.  An in-memory ledger's events ride along
+    (file-backed ledgers need no shipping — workers append to the
+    shared file directly)."""
     rec = recorder()
+    shipped = events.export_events()
     if rec is None:
-        return None
-    return export(rec, top)
+        if shipped is None:
+            return None
+        return {"events": shipped}
+    doc = export(rec, top)
+    if shipped is not None:
+        doc["events"] = shipped
+    return doc
 
 
 def merge_payload(payload: dict | None) -> None:
     """Fold a worker's :func:`export_payload` document into the active
     recorder: metrics merge, the worker's span trees are kept verbatim
-    alongside local spans.  A no-op when disabled or payload is None."""
+    alongside local spans, shipped ledger events append to the active
+    ledger.  A no-op when disabled or payload is None."""
+    if payload is None:
+        return
+    events.merge_events(payload.get("events"))
     rec = recorder()
-    if rec is None or payload is None:
+    if rec is None:
         return
     rec.registry.merge(payload.get("metrics", {}))
     rec.foreign_spans.extend(payload.get("spans", []))

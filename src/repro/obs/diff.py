@@ -1,0 +1,207 @@
+"""Run-report diffing and the perf-regression gate.
+
+Two comparison engines over the observability artifacts:
+
+* :func:`diff_reports` — structural diff of two obs report documents
+  (:func:`repro.obs.export` output): spans that appeared/disappeared,
+  counter deltas, gauge changes, and timer/histogram mean ratios with a
+  noise threshold so sub-millisecond jitter does not read as a change.
+  ``python -m repro obs diff a.json b.json`` renders it.
+* :func:`regress` — compares a fresh pytest-benchmark pass against a
+  committed baseline (the ``BENCH_*.json`` trajectory): per benchmark,
+  the fresh mean must stay within ``tolerance`` × the baseline mean.
+  ``python -m repro obs regress --baseline ... --fresh ...`` exits
+  nonzero past tolerance, which is what the CI ``bench-regress`` job
+  gates on.
+
+Both consume plain dicts, tolerate schema v1 documents (pre-percentile
+histograms), and return plain dicts so callers can JSON them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .report import iter_spans
+
+__all__ = ["diff_reports", "load_benchmarks", "regress", "render_diff",
+           "render_regress"]
+
+
+def _span_counts(doc: dict) -> Counter:
+    return Counter(s.get("name", "") for s in iter_spans(doc))
+
+
+def _dict_diff(a: dict, b: dict) -> dict:
+    added = {k: b[k] for k in sorted(set(b) - set(a))}
+    removed = {k: a[k] for k in sorted(set(a) - set(b))}
+    changed = {k: {"a": a[k], "b": b[k], "delta": b[k] - a[k]}
+               for k in sorted(set(a) & set(b)) if a[k] != b[k]}
+    return {"added": added, "removed": removed, "changed": changed}
+
+
+def _timer_diff(a: dict, b: dict, ratio_threshold: float,
+                min_seconds: float) -> dict:
+    out: dict = {"added": sorted(set(b) - set(a)),
+                 "removed": sorted(set(a) - set(b)),
+                 "changed": {}}
+    for name in sorted(set(a) & set(b)):
+        a_mean = a[name].get("mean", 0.0)
+        b_mean = b[name].get("mean", 0.0)
+        if max(a_mean, b_mean) < min_seconds:
+            continue          # below the noise floor
+        ratio = b_mean / a_mean if a_mean else float("inf")
+        if abs(ratio - 1.0) < ratio_threshold:
+            continue
+        out["changed"][name] = {
+            "a_mean": a_mean, "b_mean": b_mean, "ratio": ratio,
+            "a_p95": a[name].get("p95"), "b_p95": b[name].get("p95"),
+        }
+    return out
+
+
+def diff_reports(a: dict, b: dict, *, ratio_threshold: float = 0.2,
+                 min_seconds: float = 1e-3) -> dict:
+    """Structural diff of two obs report documents (a -> b).
+
+    Timer/histogram entries below ``min_seconds`` mean wall time, or
+    whose mean ratio moved less than ``ratio_threshold``, are treated
+    as noise and omitted from ``changed``.
+    """
+    a_spans, b_spans = _span_counts(a), _span_counts(b)
+    a_metrics = a.get("metrics", {})
+    b_metrics = b.get("metrics", {})
+    return {
+        "spans": {
+            "added": {n: c for n, c in sorted((b_spans - a_spans)
+                                              .items())},
+            "removed": {n: c for n, c in sorted((a_spans - b_spans)
+                                                .items())},
+        },
+        "counters": _dict_diff(a_metrics.get("counters", {}),
+                               b_metrics.get("counters", {})),
+        "gauges": _dict_diff(a_metrics.get("gauges", {}),
+                             b_metrics.get("gauges", {})),
+        "timers": _timer_diff(a_metrics.get("timers", {}),
+                              b_metrics.get("timers", {}),
+                              ratio_threshold, min_seconds),
+        "histograms": _timer_diff(a_metrics.get("histograms", {}),
+                                  b_metrics.get("histograms", {}),
+                                  ratio_threshold, min_seconds),
+    }
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable rendering of a :func:`diff_reports` result."""
+    lines = ["=== obs report diff (a -> b) ==="]
+    spans = diff.get("spans", {})
+    for verb in ("added", "removed"):
+        for name, n in spans.get(verb, {}).items():
+            lines.append(f"span {verb:<8} {name}  x{n}")
+    counters = diff.get("counters", {})
+    for name, value in counters.get("added", {}).items():
+        lines.append(f"counter added    {name} = {value:,}")
+    for name, value in counters.get("removed", {}).items():
+        lines.append(f"counter removed  {name} (was {value:,})")
+    for name, row in counters.get("changed", {}).items():
+        lines.append(f"counter changed  {name}  {row['a']:,} -> "
+                     f"{row['b']:,}  ({row['delta']:+,})")
+    for name, row in diff.get("gauges", {}).get("changed", {}).items():
+        lines.append(f"gauge changed    {name}  {row['a']} -> "
+                     f"{row['b']}")
+    for family in ("timers", "histograms"):
+        rows = diff.get(family, {})
+        for name in rows.get("added", []):
+            lines.append(f"{family[:-1]} added    {name}")
+        for name in rows.get("removed", []):
+            lines.append(f"{family[:-1]} removed  {name}")
+        for name, row in rows.get("changed", {}).items():
+            lines.append(
+                f"{family[:-1]} changed  {name}  mean "
+                f"{row['a_mean'] * 1e3:.3f} -> "
+                f"{row['b_mean'] * 1e3:.3f} ms  "
+                f"({row['ratio']:.2f}x)")
+    if len(lines) == 1:
+        lines.append("(no differences above thresholds)")
+    return "\n".join(lines)
+
+
+# -- bench regression gate ---------------------------------------------------
+
+
+def load_benchmarks(paths) -> dict[str, dict]:
+    """Fold one or more pytest-benchmark JSON files into a
+    ``name -> {mean, median, extra_info, source}`` map.  A benchmark
+    name appearing in several files keeps the last occurrence."""
+    out: dict[str, dict] = {}
+    for path in paths:
+        doc = json.loads(Path(path).read_text())
+        for bench in doc.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            out[bench["name"]] = {
+                "mean": stats.get("mean", 0.0),
+                "median": stats.get("median", 0.0),
+                "extra_info": bench.get("extra_info", {}),
+                "source": str(path),
+            }
+    return out
+
+
+def regress(baseline: dict[str, dict], fresh: dict[str, dict],
+            tolerance: float = 1.5) -> dict:
+    """Compare a fresh benchmark pass against the committed baseline.
+
+    A benchmark regresses when ``fresh_mean > tolerance *
+    baseline_mean``.  Benchmarks present on only one side are reported
+    (a vanished benchmark means the gate silently lost coverage) but do
+    not fail the gate by themselves; an empty intersection does —
+    comparing nothing must not pass.
+    """
+    rows: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name in sorted(set(baseline) & set(fresh)):
+        base_mean = baseline[name]["mean"]
+        fresh_mean = fresh[name]["mean"]
+        ratio = fresh_mean / base_mean if base_mean else float("inf")
+        failed = ratio > tolerance
+        rows[name] = {"baseline_mean": base_mean,
+                      "fresh_mean": fresh_mean, "ratio": ratio,
+                      "regressed": failed}
+        if failed:
+            regressions.append(name)
+    missing = sorted(set(baseline) - set(fresh))
+    extra = sorted(set(fresh) - set(baseline))
+    return {
+        "tolerance": tolerance,
+        "compared": rows,
+        "regressions": regressions,
+        "missing_from_fresh": missing,
+        "new_in_fresh": extra,
+        "ok": bool(rows) and not regressions,
+    }
+
+
+def render_regress(result: dict) -> str:
+    """Human-readable rendering of a :func:`regress` result."""
+    lines = [f"=== bench regression gate (tolerance "
+             f"{result['tolerance']:.2f}x) ==="]
+    rows = result.get("compared", {})
+    if rows:
+        width = max(len(n) for n in rows)
+        for name, row in rows.items():
+            verdict = "REGRESSED" if row["regressed"] else "ok"
+            lines.append(
+                f"{name:<{width}}  {row['baseline_mean'] * 1e3:>9.2f} ->"
+                f" {row['fresh_mean'] * 1e3:>9.2f} ms  "
+                f"({row['ratio']:.2f}x)  {verdict}")
+    else:
+        lines.append("no benchmarks in common — gate fails")
+    for name in result.get("missing_from_fresh", []):
+        lines.append(f"warning: baseline bench {name} missing from "
+                     f"the fresh pass")
+    for name in result.get("new_in_fresh", []):
+        lines.append(f"note: fresh bench {name} has no baseline yet")
+    lines.append("PASS" if result.get("ok") else "FAIL")
+    return "\n".join(lines)

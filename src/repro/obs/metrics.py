@@ -10,6 +10,7 @@ processes report back to the parent.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 
@@ -18,16 +19,28 @@ from .profile import Profile
 __all__ = ["Histogram", "MetricsRegistry"]
 
 
-class Histogram:
-    """Streaming summary statistics (count/sum/min/max) of a series."""
+#: Sample-reservoir bound.  Past it the reservoir decimates (keep every
+#: other sample) and halves its acceptance rate, deterministically —
+#: percentiles become approximate but runs stay reproducible (no
+#: randomized reservoir sampling).
+_SAMPLE_CAP = 2048
 
-    __slots__ = ("count", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary statistics (count/sum/min/max) plus a bounded,
+    deterministically-decimated sample reservoir for percentiles."""
+
+    __slots__ = ("count", "total", "min", "max", "samples", "_stride",
+                 "_pending")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -36,10 +49,26 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self.samples.append(value)
+            if len(self.samples) >= _SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained samples (0 when the
+        series is empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+        return ordered[min(rank, len(ordered) - 1)]
 
     def merge_dict(self, doc: dict) -> None:
         if not doc.get("count"):
@@ -48,13 +77,24 @@ class Histogram:
         self.total += doc["sum"]
         self.min = min(self.min, doc["min"])
         self.max = max(self.max, doc["max"])
+        # Pre-percentile payloads (schema v1) carry no samples; the
+        # merged reservoir then under-represents that worker, which
+        # only degrades the estimate, never the exact stats above.
+        self.samples.extend(doc.get("samples", ()))
+        while len(self.samples) >= _SAMPLE_CAP:
+            self.samples = self.samples[::2]
+            self._stride *= 2
 
     def to_dict(self) -> dict:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                    "samples": []}
         return {"count": self.count, "sum": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+                "max": self.max, "mean": self.mean,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+                "samples": list(self.samples)}
 
 
 class MetricsRegistry:

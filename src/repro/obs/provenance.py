@@ -1,0 +1,201 @@
+"""Layout provenance: why does a recovered variable look the way it does?
+
+The frame-layout construction in :mod:`repro.core.layout` emits a typed
+event for every step that shapes a variable — interval seeding from
+traced base pointers, overlap/link merges, undefined-ref attachment,
+and static widening — and the corroboration pass records every finding
+it raises.  This module re-assembles those ledger events into a
+per-variable chain: given a function and a final ``[start, end)``
+interval, it selects the events whose intervals overlap it and orders
+them into the story ``repro explain`` prints.
+
+The matching rule is byte-range overlap inside the same function: an
+event that touched any byte of the final interval is part of how that
+interval came to be (merges grow monotonically, so every constituent
+interval stays inside the final one).  Findings use their
+``[offset, offset + width)`` span; findings without a location are
+attached to every variable of the function they name.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["VariableProvenance", "explain_variable", "parse_var_name",
+           "render_provenance", "select_variables"]
+
+_VAR_RE = re.compile(r"^sv_([mp])(\d+)$")
+
+
+def parse_var_name(name: str) -> int:
+    """``sv_m84`` -> -84, ``sv_p8`` -> 8 (FrameVariable.name inverse)."""
+    m = _VAR_RE.match(name)
+    if m is None:
+        raise ValueError(f"bad variable name {name!r} "
+                         f"(expected sv_mNN or sv_pNN)")
+    off = int(m.group(2))
+    return -off if m.group(1) == "m" else off
+
+
+@dataclass
+class VariableProvenance:
+    """The assembled event chain behind one recovered variable."""
+
+    func: str
+    var: str
+    interval: tuple[int, int]
+    seeds: list[dict] = field(default_factory=list)
+    attaches: list[dict] = field(default_factory=list)
+    merges: list[dict] = field(default_factory=list)
+    widenings: list[dict] = field(default_factory=list)
+    findings: list[dict] = field(default_factory=list)
+
+    @property
+    def events(self) -> list[dict]:
+        """Every chained event in emission order."""
+        out = (self.seeds + self.attaches + self.merges
+               + self.widenings + self.findings)
+        out.sort(key=lambda e: (e.get("pid", 0), e.get("seq", 0)))
+        return out
+
+
+def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _event_interval(doc: dict) -> tuple[int, int] | None:
+    """The byte range an event touched, per kind."""
+    kind = doc.get("kind", "")
+    if kind in ("frame.var.seed", "frame.var.attach"):
+        iv = doc.get("interval")
+        return (iv[0], iv[1]) if iv else None
+    if kind == "frame.var.merge":
+        into, absorbed = doc.get("into"), doc.get("absorbed")
+        if not into or not absorbed:
+            return None
+        return (min(into[0], absorbed[0]), max(into[1], absorbed[1]))
+    if kind == "frame.var.widened":
+        region = doc.get("region")
+        lo, hi = region if region else (0, 0)
+        grew = doc.get("grew")
+        if grew:
+            lo, hi = min(lo, grew[0]), max(hi, grew[1])
+        return (lo, hi)
+    if kind in ("corroborate.finding", "sanitize.finding"):
+        off, width = doc.get("offset"), doc.get("width")
+        if off is None:
+            return None          # locationless: match by function only
+        return (off, off + (width or 1))
+    return None
+
+
+_BUCKETS = {
+    "frame.var.seed": "seeds",
+    "frame.var.attach": "attaches",
+    "frame.var.merge": "merges",
+    "frame.var.widened": "widenings",
+    "corroborate.finding": "findings",
+    "sanitize.finding": "findings",
+}
+
+
+def explain_variable(events: list[dict], func: str,
+                     interval: tuple[int, int],
+                     var: str | None = None) -> VariableProvenance:
+    """Assemble the provenance chain of ``func``'s variable covering
+    ``interval`` from a ledger event list (in emission order)."""
+    if var is None:
+        sign = "m" if interval[0] < 0 else "p"
+        var = f"sv_{sign}{abs(interval[0])}"
+    prov = VariableProvenance(func, var, tuple(interval))
+    for doc in events:
+        bucket = _BUCKETS.get(doc.get("kind", ""))
+        if bucket is None or doc.get("func") != func:
+            continue
+        span = _event_interval(doc)
+        if span is None:
+            # Locationless finding in this function: chain it — the
+            # reader decides whether it matters for this variable.
+            if bucket == "findings":
+                getattr(prov, bucket).append(doc)
+            continue
+        if _overlaps(span, prov.interval):
+            getattr(prov, bucket).append(doc)
+    return prov
+
+
+def select_variables(layouts: dict, var_spec: str | None):
+    """Resolve a CLI ``--var`` spec against recovered layouts.
+
+    ``func:name`` picks one variable, bare ``name`` searches every
+    function, bare ``func`` lists the whole frame, and ``None`` selects
+    everything.  Yields ``(func, variable)`` pairs; raises
+    ``ValueError`` when the spec matches nothing.
+    """
+    pairs = [(fname, var) for fname, layout in sorted(layouts.items())
+             for var in sorted(layout.variables, key=lambda v: v.start)]
+    if var_spec is None:
+        yield from pairs
+        return
+    if ":" in var_spec:
+        func, name = var_spec.split(":", 1)
+        hits = [(f, v) for f, v in pairs if f == func and v.name == name]
+    elif _VAR_RE.match(var_spec):
+        hits = [(f, v) for f, v in pairs if v.name == var_spec]
+    else:
+        hits = [(f, v) for f, v in pairs if f == var_spec]
+    if not hits:
+        known = ", ".join(sorted({f"{f}:{v.name}" for f, v in pairs}))
+        raise ValueError(f"--var {var_spec!r} matches no recovered "
+                         f"variable (have: {known})")
+    yield from hits
+
+
+def _one_line(doc: dict) -> str:
+    kind = doc.get("kind", "?")
+    if kind == "frame.var.seed":
+        iv, traced = doc.get("interval"), doc.get("traced")
+        return (f"seeded by traced ref #{doc.get('ref_id')} at "
+                f"sp0{doc.get('sp0_offset'):+d}: bytes "
+                f"[{iv[0]}, {iv[1]}) (traced span "
+                f"[{traced[0]}, {traced[1]}))")
+    if kind == "frame.var.attach":
+        iv = doc.get("interval")
+        return (f"ref #{doc.get('ref_id')} attached "
+                f"({doc.get('method')}) -> [{iv[0]}, {iv[1]})")
+    if kind == "frame.var.merge":
+        a, b = doc.get("into"), doc.get("absorbed")
+        return (f"merged ({doc.get('reason')}): [{a[0]}, {a[1]}) "
+                f"absorbed [{b[0]}, {b[1]})")
+    if kind == "frame.var.widened":
+        region = doc.get("region")
+        head = (f"widened to cover [{region[0]}, {region[1]})"
+                if doc.get("applied") else
+                f"widening to [{region[0]}, {region[1]}) "
+                f"skipped (already covered)")
+        grew = doc.get("grew")
+        if doc.get("applied") and grew:
+            head += f" (grew variable at [{grew[0]}, {grew[1]}))"
+        reason = doc.get("reason")
+        return f"{head}{f' — {reason}' if reason else ''}"
+    if kind in ("corroborate.finding", "sanitize.finding"):
+        stage = ("corroboration" if kind.startswith("corroborate")
+                 else "sanitizer")
+        return (f"{stage} {doc.get('severity')} "
+                f"[{doc.get('finding')}]: {doc.get('message')}")
+    return kind
+
+
+def render_provenance(prov: VariableProvenance) -> str:
+    """Human-readable chain for ``repro explain``."""
+    lo, hi = prov.interval
+    lines = [f"{prov.func}:{prov.var}  [{lo}, {hi})  "
+             f"{hi - lo} bytes"]
+    events = prov.events
+    if not events:
+        lines.append("  (no ledger events — was the ledger enabled "
+                     "during the run?)")
+    for doc in events:
+        lines.append(f"  #{doc.get('seq'):<4d} {_one_line(doc)}")
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 
+from . import events as _events
 from .metrics import MetricsRegistry
 from .spans import NULL_SPAN, Span
 
@@ -46,6 +47,9 @@ class Recorder:
 
     def _span_started(self, span: Span) -> None:
         self._stack.append(span)
+        led = _events.ledger()
+        if led is not None and span.name.startswith(_LEDGER_SPANS):
+            led.emit("stage.start", name=span.name, attrs=span.attrs)
 
     def _span_finished(self, span: Span) -> None:
         stack = self._stack
@@ -57,7 +61,17 @@ class Recorder:
             stack[-1].children.append(span)
         else:
             self.spans.append(span)
+        led = _events.ledger()
+        if led is not None and span.name.startswith(_LEDGER_SPANS):
+            led.emit("stage.finish", name=span.name,
+                     seconds=span.seconds, attrs=span.attrs)
 
+
+#: Span families mirrored into the event ledger as ``stage.start`` /
+#: ``stage.finish`` events.  Deliberately coarse: per-function spans
+#: (``sanalysis.function``, ...) stay out of the ledger to bound its
+#: volume; the pipeline layers emit finer-grained typed events instead.
+_LEDGER_SPANS = ("stage.", "pipeline.")
 
 _RECORDER: Recorder | None = None
 

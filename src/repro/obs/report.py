@@ -14,7 +14,10 @@ from .recorder import Recorder
 
 __all__ = ["export", "iter_spans", "summary", "write_json"]
 
-SCHEMA_VERSION = 1
+# v2: histogram/timer entries gained p50/p95/p99 and the bounded
+# sample reservoir behind them (additive — v1 readers that ignore
+# unknown keys keep working; merge_dict treats absent samples as empty).
+SCHEMA_VERSION = 2
 
 
 def export(rec: Recorder, top: int = 10) -> dict:
@@ -54,6 +57,52 @@ def _fmt_delta(attrs: dict) -> str:
     return (f"{before['instrs']:>6} -> {after['instrs']:<6} instrs  "
             f"({before['functions']}f/{before['blocks']}b -> "
             f"{after['functions']}f/{after['blocks']}b)")
+
+
+#: Counter prefixes grouped into labeled stderr-summary sections so
+#: cache/pool behaviour is readable at a glance.
+COUNTER_SECTIONS = (
+    ("lowering cache", "lower.cache."),
+    ("fork pool", "parallel.pool."),
+    ("pass manager", "opt.manager."),
+)
+
+
+def _counter_sections(counters: dict) -> list[str]:
+    lines = []
+    for label, prefix in COUNTER_SECTIONS:
+        rows = [(name[len(prefix):], n) for name, n
+                in sorted(counters.items()) if name.startswith(prefix)]
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"{label} ({prefix}*):")
+        width = max(len(short) for short, _ in rows)
+        for short, n in rows:
+            lines.append(f"  {short:<{width}}  {n:>10,}")
+        hits = counters.get(prefix + "hits")
+        misses = counters.get(prefix + "misses")
+        if hits is not None and misses is not None and hits + misses:
+            lines.append(f"  {'hit rate':<{width}}  "
+                         f"{hits / (hits + misses):>10.2%}")
+    return lines
+
+
+def _percentile_rows(timers: dict) -> list[str]:
+    rows = [(name, h) for name, h in sorted(timers.items())
+            if h.get("count")]
+    if not rows:
+        return []
+    width = max(len(name) for name, _ in rows)
+    lines = ["", f"{'timer':<{width}}  {'count':>7}  {'mean ms':>9}  "
+                 f"{'p50 ms':>9}  {'p95 ms':>9}  {'p99 ms':>9}"]
+    for name, h in rows:
+        lines.append(
+            f"{name:<{width}}  {h['count']:>7}  {h['mean'] * 1e3:>9.3f}"
+            f"  {h.get('p50', 0.0) * 1e3:>9.3f}"
+            f"  {h.get('p95', 0.0) * 1e3:>9.3f}"
+            f"  {h.get('p99', 0.0) * 1e3:>9.3f}")
+    return lines
 
 
 def summary(doc: dict) -> str:
@@ -106,6 +155,9 @@ def summary(doc: dict) -> str:
     if highlights:
         lines.append("")
         lines.extend(highlights)
+
+    lines.extend(_counter_sections(counters))
+    lines.extend(_percentile_rows(metrics.get("timers", {})))
 
     hot = metrics.get("profiles", {}).get("emu.hot_blocks")
     if hot and hot.get("top"):

@@ -319,6 +319,7 @@ def _opt_worker(task):
     module, observe = worker_ctx()
     if observe:
         obs.enable(reset=True)
+    obs.fork_begin()
     rec = _obs_recorder()
     func = module.functions[name]
     passes = _passes_for_schedule(schedule_key, module)
@@ -431,6 +432,8 @@ class PassManager:
         module = self.module
         if self.module_at_fixpoint():
             obs.count("opt.manager.skipped", len(module.functions))
+            obs.event("opt.skip", scope="module",
+                      functions=len(module.functions))
             return
         self._visit(list(module.functions.values()))
         if self.inline_threshold is None:
@@ -445,6 +448,9 @@ class PassManager:
         targets = [f for name, f in module.functions.items()
                    if name in changed or name in self.unresolved]
         obs.count("opt.manager.requeued", len(targets))
+        if obs.ledger() is not None:
+            obs.event("opt.requeue",
+                      functions=sorted(f.name for f in targets))
         self.unresolved.clear()
         self._visit(targets)
 
@@ -464,6 +470,8 @@ class PassManager:
         if versions is not None and \
                 versions.get(self._token) == func.version:
             obs.count("opt.manager.skipped")
+            obs.event("opt.skip", scope="function",
+                      function=func.name, reason="version")
             return True, None
         entry_fp = None
         if self._memo_on:
@@ -472,6 +480,7 @@ class PassManager:
                 self._record_fixpoint(func)
                 obs.count("opt.manager.skipped")
                 obs.count("opt.manager.memo_hits")
+                obs.event("opt.memo_hit", function=func.name)
                 return True, entry_fp
         return False, entry_fp
 

@@ -93,16 +93,18 @@ class ForkPool:
         if self._exec is not None:
             if self._key == key:
                 obs.count("parallel.pool.reuses")
+                obs.event("pool.reuse", key=str(key))
                 publish_ctx(ctx)
                 return self._exec
             self.close()
         publish_ctx(ctx)
         mp_ctx = multiprocessing.get_context("fork")
-        self._exec = ProcessPoolExecutor(
-            max_workers=min(self.jobs, max(int(ntasks), 1)),
-            mp_context=mp_ctx)
+        workers = min(self.jobs, max(int(ntasks), 1))
+        self._exec = ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=mp_ctx)
         self._key = key
         obs.count("parallel.pool.spawns")
+        obs.event("pool.spawn", key=str(key), workers=workers)
         return self._exec
 
     def invalidate(self, cancel: bool = False) -> None:

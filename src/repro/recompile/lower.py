@@ -240,12 +240,16 @@ def lower_function(func: Function, module: Module,
     if entry is not None:
         _CACHE.move_to_end(key)
         obs.count("lower.cache.hits")
+        obs.event("cache.hit", cache="lower", function=func.name)
         return entry
     obs.count("lower.cache.misses")
+    obs.event("cache.miss", cache="lower", function=func.name)
     slot = (func.name, options, ctx)
     prev = _LAST.get(slot)
     if prev is not None and fp not in prev[1]:
         obs.count("lower.cache.invalidations")
+        obs.event("cache.invalidation", cache="lower",
+                  function=func.name)
         for stale in prev[1]:
             _CACHE.pop((stale, options, ctx), None)
     nblocks = len(func.blocks)

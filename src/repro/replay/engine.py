@@ -61,11 +61,13 @@ def _baseline() -> bool:
 
 
 def _worker_begin() -> bool:
-    """Reset the inherited recorder so this worker's metrics are not
-    double-counted when the parent merges its payload."""
+    """Reset the inherited recorder (and in-memory ledger events) so
+    this worker's observations are not double-counted when the parent
+    merges its payload."""
     observe = worker_ctx()[3]
     if observe:
         obs.enable(reset=True)
+    obs.fork_begin()
     return observe
 
 
@@ -187,6 +189,8 @@ class ReplayEngine:
             fp = None if self.baseline else module_fingerprint(module)
             if fp is not None and fp == self._valid_fp:
                 obs.count("replay.validations_skipped")
+                obs.event("validate.verdict", stage=stage,
+                          verdict="skipped")
                 self.notes.append(
                     f"validate[{stage}]: skipped (module unchanged)")
                 return "skipped"
@@ -206,11 +210,16 @@ class ReplayEngine:
                     self.notes.append(
                         f"validate[{stage}]: interpreter error on "
                         f"input #{index}: {reason}")
+                obs.event("validate.verdict", stage=stage,
+                          verdict="failed", input=index, reason=reason,
+                          interpreter_error=interp_error)
                 raise SymbolizeError(
                     f"{stage} broke functionality: traced input "
                     f"#{index} {self.traces.inputs[index]!r} "
                     f"diverged ({reason})")
             self._valid_fp = fp
+            obs.event("validate.verdict", stage=stage, verdict="ok",
+                      runs=len(order))
             return "ok"
 
     def _validate_serial(self, module, order):
@@ -272,6 +281,7 @@ class ReplayEngine:
                 if snapshots is not None:
                     for i in order:
                         merged.merge(snapshots[i])
+                        self._trace_merged(i, merged)
                     return merged
             inputs = self.traces.inputs
             for i in order:
@@ -282,7 +292,16 @@ class ReplayEngine:
                 runtime.bind(interp)
                 interp.run()
                 merged.merge(runtime)
+                self._trace_merged(i, merged)
             return merged
+
+    def _trace_merged(self, index: int, merged: TracingRuntime) -> None:
+        """Ledger record of one instrumented run folding in (§4.2)."""
+        if obs.ledger() is not None:
+            obs.event("trace.merged", input=index,
+                      stack_vars=len(merged.stack_vars),
+                      arg_accesses=len(merged.arg_accesses),
+                      links=len(merged.links))
 
     def _bounds_parallel(self, module, order):
         try:

@@ -134,3 +134,82 @@ def test_recompile_check_strict_aborts(undertrace_file, tmp_path,
     err = capsys.readouterr().err
     assert "static check gate" in err
     assert not recovered.exists()
+
+
+def test_explain_command_chains_widening(undertrace_file, tmp_path,
+                                         capsys):
+    """The provenance query names the coverage-gap finding and the
+    widening event behind the grown variable."""
+    image = tmp_path / "under.img.json"
+    main(["compile", str(undertrace_file), "-o", str(image)])
+    assert main(["explain", str(image), "--input", "int:3",
+                 "--widen"]) == 0
+    out = capsys.readouterr().out
+    assert "coverage-gap" in out
+    assert "widened to cover" in out
+    assert "seeded by traced ref" in out
+    # An unknown --var spec reports the recovered names and exits 1.
+    assert main(["explain", str(image), "--input", "int:3",
+                 "--var", "fn_0:sv_m4"]) == 1
+    assert "matches no recovered variable" in capsys.readouterr().err
+
+
+def test_ledger_flag_writes_jsonl(source_file, tmp_path):
+    import json as _json
+    image = tmp_path / "prog.img.json"
+    ledger = tmp_path / "events.jsonl"
+    main(["compile", str(source_file), "-o", str(image)])
+    from repro import obs
+    try:
+        assert main(["--ledger", str(ledger), "recompile", str(image),
+                     "-o", str(tmp_path / "rec.img.json"),
+                     "--input", "int:5"]) == 0
+    finally:
+        obs.disable_ledger()
+    docs = obs.read_events(ledger)
+    kinds = {d["kind"] for d in docs}
+    assert {"run.start", "run.finish", "frame.var.seed",
+            "validate.verdict"} <= kinds
+    for d in docs:
+        _json.dumps(d)  # every line round-trips
+
+
+def test_obs_diff_command(tmp_path, capsys):
+    import json as _json
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    base = {"version": 2, "spans": [],
+            "metrics": {"counters": {"lower.cache.misses": 2},
+                        "gauges": {}, "histograms": {}, "timers": {},
+                        "profiles": {}}}
+    other = {"version": 2, "spans": [],
+             "metrics": {"counters": {}, "gauges": {},
+                         "histograms": {}, "timers": {},
+                         "profiles": {}}}
+    a.write_text(_json.dumps(base))
+    b.write_text(_json.dumps(other))
+    assert main(["obs", "diff", str(a), str(b)]) == 0
+    assert "lower.cache.misses" in capsys.readouterr().out
+    assert main(["obs", "diff", str(a), str(b), "--json"]) == 0
+    doc = _json.loads(capsys.readouterr().out)
+    assert doc["counters"]["removed"] == {"lower.cache.misses": 2}
+
+
+def _bench_json(path, mean):
+    import json as _json
+    path.write_text(_json.dumps({"benchmarks": [
+        {"name": "bench_a", "stats": {"mean": mean, "median": mean},
+         "extra_info": {}}]}))
+    return str(path)
+
+
+def test_obs_regress_command_gates(tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", 1.0)
+    ok = _bench_json(tmp_path / "ok.json", 1.2)
+    slow = _bench_json(tmp_path / "slow.json", 2.0)
+    assert main(["obs", "regress", "--baseline", base,
+                 "--fresh", ok]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert main(["obs", "regress", "--baseline", base,
+                 "--fresh", slow, "--tolerance", "1.5"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "FAIL" in out

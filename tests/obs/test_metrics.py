@@ -16,12 +16,16 @@ def test_histogram_summary_stats():
     assert h.mean == pytest.approx(5.0)
     doc = h.to_dict()
     assert doc == {"count": 3, "sum": pytest.approx(15.0), "min": 2.0,
-                   "max": 8.0, "mean": pytest.approx(5.0)}
+                   "max": 8.0, "mean": pytest.approx(5.0),
+                   "p50": 5.0, "p95": 8.0, "p99": 8.0,
+                   "samples": [2.0, 8.0, 5.0]}
 
 
 def test_empty_histogram_serializes_finite():
     assert Histogram().to_dict() == {"count": 0, "sum": 0.0, "min": 0.0,
-                                     "max": 0.0, "mean": 0.0}
+                                     "max": 0.0, "mean": 0.0,
+                                     "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                                     "samples": []}
 
 
 def test_histogram_merge():
@@ -83,6 +87,64 @@ def test_registry_merge_sums_and_preserves_totals():
     prof = a.profiles["p"]
     assert prof.counts == {"x": 6, "(other)": 4}
     assert prof.total == b.profiles["p"].total
+
+
+def test_percentiles_over_known_distribution():
+    h = Histogram()
+    for v in range(1, 101):  # 1..100, uniform
+        h.add(float(v))
+    assert h.quantile(0.50) == 50.0
+    assert h.quantile(0.95) == 95.0
+    assert h.quantile(0.99) == 99.0
+    doc = h.to_dict()
+    assert (doc["p50"], doc["p95"], doc["p99"]) == (50.0, 95.0, 99.0)
+
+
+def test_percentiles_skewed_distribution():
+    h = Histogram()
+    for _ in range(99):
+        h.add(1.0)
+    h.add(1000.0)  # one outlier
+    assert h.quantile(0.50) == 1.0
+    assert h.quantile(0.99) == 1.0
+    assert h.quantile(1.0) == 1000.0
+    assert h.max == 1000.0
+
+
+def test_reservoir_decimates_deterministically_past_cap():
+    a, b = Histogram(), Histogram()
+    for v in range(10_000):
+        a.add(float(v))
+        b.add(float(v))
+    assert a.count == 10_000
+    assert len(a.samples) < 2048
+    # Deterministic: two identical streams retain identical samples.
+    assert a.samples == b.samples
+    # Percentiles stay approximately right after decimation.
+    assert a.quantile(0.50) == pytest.approx(5000.0, rel=0.05)
+    assert a.quantile(0.95) == pytest.approx(9500.0, rel=0.05)
+
+
+def test_merge_tolerates_v1_payload_without_samples():
+    h = Histogram()
+    h.add(2.0)
+    # A schema-v1 worker payload has no "samples" key.
+    h.merge_dict({"count": 3, "sum": 30.0, "min": 10.0, "max": 10.0,
+                  "mean": 10.0})
+    assert h.count == 4
+    assert h.total == pytest.approx(32.0)
+    assert h.samples == [2.0]  # exact stats intact, estimate degrades
+
+
+def test_merge_extends_and_rebounds_samples():
+    a, b = Histogram(), Histogram()
+    for v in range(1500):
+        a.add(float(v))
+        b.add(float(v) + 1500.0)
+    a.merge_dict(b.to_dict())
+    assert a.count == 3000
+    assert len(a.samples) < 2048
+    assert a.quantile(0.50) == pytest.approx(1500.0, rel=0.1)
 
 
 def test_module_helpers_are_noops_when_disabled():

@@ -89,8 +89,9 @@ def test_summary_renders(report):
 
 def test_observability_does_not_change_output(kernel_image):
     """Observer-effect guard: recompiled binaries are byte-identical
-    with observability off and on."""
+    with observability off, on, and on with the event ledger."""
     obs.disable()
+    obs.disable_ledger()
     baseline = wytiwyg_recompile(kernel_image, [[]]).recovered.to_json()
     repeat = wytiwyg_recompile(kernel_image, [[]]).recovered.to_json()
     assert baseline == repeat  # the pipeline itself is deterministic
@@ -101,3 +102,15 @@ def test_observability_does_not_change_output(kernel_image):
     finally:
         obs.disable()
     assert observed == baseline
+    # The ledger is the second observer: recording every frame-variable
+    # construction step must not perturb the construction.
+    obs.enable(reset=True)
+    led = obs.enable_ledger()
+    try:
+        recorded = wytiwyg_recompile(kernel_image,
+                                     [[]]).recovered.to_json()
+    finally:
+        obs.disable_ledger()
+        obs.disable()
+    assert recorded == baseline
+    assert any(e["kind"] == "frame.var.seed" for e in led.events)

@@ -1,0 +1,59 @@
+"""The stderr summary: grouped counter sections and percentile rows."""
+
+from repro import obs
+from repro.obs.report import SCHEMA_VERSION
+
+
+def _doc(counters=None, timers=None):
+    return {
+        "version": SCHEMA_VERSION,
+        "spans": [],
+        "metrics": {"counters": counters or {}, "gauges": {},
+                    "histograms": {}, "timers": timers or {},
+                    "profiles": {}},
+    }
+
+
+def test_counter_sections_group_by_prefix():
+    text = obs.summary(_doc(counters={
+        "lower.cache.hits": 30, "lower.cache.misses": 10,
+        "lower.cache.invalidations": 1,
+        "parallel.pool.spawns": 2, "parallel.pool.reuses": 5,
+        "opt.manager.skipped": 4, "opt.manager.memo_hits": 7,
+        "unrelated.counter": 99,
+    }))
+    assert "lowering cache (lower.cache.*):" in text
+    assert "fork pool (parallel.pool.*):" in text
+    assert "pass manager (opt.manager.*):" in text
+    # Entries appear under their section with the prefix stripped.
+    assert "misses" in text and "spawns" in text and "memo_hits" in text
+    # hits/(hits+misses) = 75% derived row for the cache section.
+    assert "hit rate" in text and "75.00%" in text
+    # Prefixes that recorded nothing add no empty section.
+    no_pool = obs.summary(_doc(counters={"lower.cache.hits": 1}))
+    assert "fork pool" not in no_pool
+
+
+def test_hit_rate_row_needs_both_counters():
+    text = obs.summary(_doc(counters={"lower.cache.hits": 3}))
+    assert "lowering cache" in text
+    assert "hit rate" not in text
+
+
+def test_percentile_rows_for_timers():
+    timer = {"count": 4, "sum": 0.4, "min": 0.05, "max": 0.2,
+             "mean": 0.1, "p50": 0.08, "p95": 0.19, "p99": 0.2}
+    text = obs.summary(_doc(timers={"replay.bounds_seconds": timer}))
+    assert "p50 ms" in text and "p95 ms" in text and "p99 ms" in text
+    assert "replay.bounds_seconds" in text
+    assert "80.000" in text   # p50 rendered in milliseconds
+    assert "190.000" in text  # p95
+    # v1 documents (no percentile keys) still render, as zeros.
+    v1 = {"count": 1, "sum": 0.1, "min": 0.1, "max": 0.1, "mean": 0.1}
+    old = obs.summary(_doc(timers={"legacy": v1}))
+    assert "legacy" in old
+
+
+def test_empty_timers_add_no_table():
+    text = obs.summary(_doc())
+    assert "p50 ms" not in text
