@@ -34,18 +34,26 @@ Quickstart::
 from .baselines import binrec_recompile, secondwrite_recompile
 from .binary import BinaryImage
 from .cc import compile_source, compile_to_ir, personality
-from .core import WytiwygResult, wytiwyg_lift, wytiwyg_recompile
+from .core import (
+    WytiwygResult,
+    incremental_recompile,
+    wytiwyg_lift,
+    wytiwyg_recompile,
+)
 from .emu import run_binary, trace_binary
 from .errors import ReproError
 from .lifting import lift_binary, lift_traces
 from .recompile import recompile_ir
+from .store import ArtifactStore, Campaign
 from .workloads import WORKLOADS
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "BinaryImage", "ReproError", "WORKLOADS", "WytiwygResult",
+    "ArtifactStore", "BinaryImage", "Campaign", "ReproError",
+    "WORKLOADS", "WytiwygResult",
     "__version__", "binrec_recompile", "compile_source", "compile_to_ir",
+    "incremental_recompile",
     "lift_binary", "lift_traces", "personality", "recompile_ir",
     "run_binary", "secondwrite_recompile", "trace_binary",
     "wytiwyg_lift", "wytiwyg_recompile",

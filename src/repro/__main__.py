@@ -5,7 +5,13 @@ Commands mirror the toolchain a downstream user needs:
 * ``compile``   MiniC source -> binary image (JSON container)
 * ``run``       execute a binary image on inputs
 * ``recompile`` WYTIWYG-recompile a binary image (or ``--pipeline
-  binrec`` / ``secondwrite``); ``--check`` arms the static gate
+  binrec`` / ``secondwrite``); ``--check`` arms the static gate;
+  ``--store DIR`` routes the run through the content-addressed
+  artifact store so repeated runs reuse traces and results
+* ``serve``     run the recompilation daemon: jobs over a Unix socket,
+  backed by the artifact store and named campaigns
+* ``submit``    client for ``serve``: submit a job (or ``--status`` /
+  ``--ping`` / ``--shutdown``) to a running daemon
 * ``layout``    print the stack layout WYTIWYG recovers for a binary
 * ``check``     run the static corroboration + sanitizer suite and
   print the findings (exit 1 on errors; ``--strict`` fails on
@@ -85,9 +91,20 @@ def cmd_recompile(args) -> int:
     runs = _parse_inputs(args.input)
     if args.pipeline == "wytiwyg":
         try:
-            result = wytiwyg_recompile(image, runs, jobs=args.jobs,
-                                       check=args.check,
-                                       opt_jobs=args.opt_jobs)
+            if args.store is not None:
+                from .core.incremental import incremental_recompile
+                from .store import ArtifactStore
+                result = incremental_recompile(
+                    image, runs, ArtifactStore(args.store),
+                    jobs=args.jobs, check=args.check,
+                    opt_jobs=args.opt_jobs)
+                print(f"  store: served={result.stats.served} "
+                      f"traces reused={result.stats.traces_reused} "
+                      f"recorded={result.stats.traces_recorded}")
+            else:
+                result = wytiwyg_recompile(image, runs, jobs=args.jobs,
+                                           check=args.check,
+                                           opt_jobs=args.opt_jobs)
         except StaticCheckError as exc:
             print(f"static check gate aborted recompilation: {exc}",
                   file=sys.stderr)
@@ -109,6 +126,50 @@ def cmd_recompile(args) -> int:
         recovered = secondwrite_recompile(image.stripped()).recovered
     Path(args.output).write_text(recovered.to_json())
     print(f"recompiled [{args.pipeline}] -> {args.output}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import RecompileServer
+    server = RecompileServer(args.socket, store=args.store,
+                             jobs=args.jobs, opt_jobs=args.opt_jobs)
+    print(f"repro serve: listening on {args.socket} "
+          f"(store {server.store.root}, jobs={server.jobs})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve import ServeClient
+    client = ServeClient(args.socket, timeout=args.timeout)
+    if args.ping:
+        response = client.ping()
+    elif args.status:
+        response = client.status()
+    elif args.shutdown:
+        response = client.shutdown()
+    elif args.campaign_info:
+        response = client.campaign(args.campaign_info)
+    else:
+        if args.image is None and args.campaign is None:
+            raise SystemExit("submit needs an IMAGE (or --campaign "
+                             "with a stored image, or --ping/--status/"
+                             "--shutdown)")
+        runs = _parse_inputs(args.input) if args.input else []
+        options = {}
+        if args.no_optimize:
+            options["optimize"] = False
+        if args.check is not None:
+            options["check"] = args.check
+        response = client.submit(
+            image=args.image, inputs=runs, campaign=args.campaign,
+            options=options or None, output=args.output)
+    print(json.dumps(response, indent=2, default=repr))
     return 0
 
 
@@ -250,7 +311,58 @@ def main(argv: list[str] | None = None) -> int:
                    help="arm the static check gate: error findings "
                         "abort before optimization (pass 'strict' to "
                         "abort on warnings too)")
+    p.add_argument("--store", metavar="DIR", nargs="?",
+                   const="", default=None,
+                   help="route the run through the content-addressed "
+                        "artifact store at DIR (default $REPRO_STORE "
+                        "or .repro_store): repeated runs reuse traces "
+                        "and results")
     p.set_defaults(func=cmd_recompile)
+
+    p = sub.add_parser(
+        "serve",
+        help="recompilation daemon: jobs over a local Unix socket")
+    p.add_argument("--socket", default=".repro-serve.sock",
+                   metavar="PATH", help="Unix socket path to listen on")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="artifact store root (default $REPRO_STORE "
+                        "or .repro_store)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan each job's replay sweeps over N worker "
+                        "processes (the pool is shared across jobs)")
+    p.add_argument("--opt-jobs", type=int, default=None, metavar="N",
+                   help="fan each job's optimizer visits over N "
+                        "worker processes (default $REPRO_OPT_JOBS)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running repro serve daemon")
+    p.add_argument("image", nargs="?", default=None,
+                   help="binary image to recompile (optional when the "
+                        "campaign already has a stored image)")
+    p.add_argument("--socket", default=".repro-serve.sock",
+                   metavar="PATH", help="daemon socket path")
+    p.add_argument("--input", nargs="*", default=[])
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="accumulate inputs into this named campaign "
+                        "and run over its full input set")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="write the recovered image here (server-side)")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="skip the optimizer stage")
+    p.add_argument("--check", nargs="?", const="1", default=None,
+                   metavar="MODE", help="arm the static check gate")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   metavar="SECONDS", help="client-side timeout")
+    p.add_argument("--ping", action="store_true",
+                   help="liveness probe instead of a job")
+    p.add_argument("--status", action="store_true",
+                   help="daemon counters + store stats instead of a job")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the daemon instead of submitting a job")
+    p.add_argument("--campaign-info", default=None, metavar="NAME",
+                   help="print one campaign's summary instead of a job")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("layout", help="print recovered stack layouts")
     p.add_argument("image")

@@ -4,6 +4,13 @@ dynamic stack-layout recovery."""
 from .accuracy import CATEGORIES, AccuracyReport, evaluate_accuracy
 from .driver import WytiwygResult, wytiwyg_lift, wytiwyg_recompile
 from .extfuncs import EXTERNAL_DB, VARARG_FUNCTIONS, Constraint, ExtSig
+from .incremental import (
+    JobStats,
+    ServedResult,
+    gather_traces,
+    incremental_recompile,
+    pipeline_options_tag,
+)
 from .instrument import (
     FunctionInstrumentation,
     ModuleInstrumentation,
@@ -32,14 +39,18 @@ from .varargs import recover_vararg_calls
 __all__ = [
     "AccuracyReport", "ArgAccess", "CATEGORIES", "Constraint",
     "EXTERNAL_DB", "ExtSig", "FrameLayout", "FrameVariable",
-    "FunctionInstrumentation", "ModuleInstrumentation", "PointerInfo",
-    "RegSavePlugin", "RegSaveResult", "SignaturePlan", "StackVar",
+    "FunctionInstrumentation", "JobStats", "ModuleInstrumentation",
+    "PointerInfo",
+    "RegSavePlugin", "RegSaveResult", "ServedResult", "SignaturePlan",
+    "StackVar",
     "TracingRuntime", "VARARG_FUNCTIONS", "WytiwygResult",
     "apply_register_classification", "build_frame_layout",
     "build_layouts", "build_signatures", "classify_registers",
     "classify_stack_refs", "compute_sp0_offsets", "drop_sp_threading",
-    "evaluate_accuracy", "fold_module_stack_refs", "instrument_module",
-    "is_lifted_function", "recover_vararg_calls",
+    "evaluate_accuracy", "fold_module_stack_refs", "gather_traces",
+    "incremental_recompile", "instrument_module",
+    "is_lifted_function", "pipeline_options_tag",
+    "recover_vararg_calls",
     "replace_base_pointers", "strip_probes", "wytiwyg_lift",
     "wytiwyg_recompile",
 ]

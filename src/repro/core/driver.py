@@ -91,6 +91,9 @@ class WytiwygResult:
     notes: list[str] = field(default_factory=list)
     #: Static corroboration + sanitizer findings (None after fallback).
     check_report: CheckReport | None = None
+    #: The merged trace set the pipeline consumed (re-traced or passed
+    #: in); the incremental service layer persists and summarizes it.
+    traces: TraceSet | None = None
 
 
 def _resolve_check(check: bool | str | None) -> bool | str:
@@ -149,6 +152,7 @@ def wytiwyg_lift(traces: TraceSet,
                  jobs: int = 1,
                  static_widen: bool | None = None,
                  opt_jobs: int | None = None,
+                 replay_pool=None,
                  ) -> tuple[Module, dict[str, FrameLayout],
                             list[str], CheckReport]:
     """Run the refinement pipeline on merged traces; returns the
@@ -172,9 +176,12 @@ def wytiwyg_lift(traces: TraceSet,
     runs out over a process pool; ``opt_jobs`` does the same for the
     canonicalization stage's per-function visits (default:
     ``$REPRO_OPT_JOBS``).  The symbolized module is byte-identical to a
-    serial run either way.
+    serial run either way.  ``replay_pool`` lends the engine a caller-
+    owned :class:`~repro.parallel.ForkPool` (the long-lived serve
+    daemon shares one across requests); the engine then does not shut
+    it down on close.
     """
-    engine = ReplayEngine(traces, jobs=jobs)
+    engine = ReplayEngine(traces, jobs=jobs, pool=replay_pool)
     try:
         return _lift_with_engine(engine, traces, validate, hybrid,
                                  static_widen, opt_jobs)
@@ -383,7 +390,8 @@ def wytiwyg_recompile(image: BinaryImage,
                       jobs: int = 1,
                       check: bool | str | None = None,
                       static_widen: bool | None = None,
-                      opt_jobs: int | None = None) -> WytiwygResult:
+                      opt_jobs: int | None = None,
+                      replay_pool=None) -> WytiwygResult:
     """End-to-end WYTIWYG: trace, refine, symbolize, optimize,
     recompile.  Falls back to the unsymbolized (BinRec) pipeline if
     symbolization fails functional validation.
@@ -418,7 +426,8 @@ def wytiwyg_recompile(image: BinaryImage,
         try:
             module, layouts, notes, report = wytiwyg_lift(
                 traces, hybrid=hybrid, jobs=jobs,
-                static_widen=static_widen, opt_jobs=opt_jobs)
+                static_widen=static_widen, opt_jobs=opt_jobs,
+                replay_pool=replay_pool)
             fallback = False
         except SymbolizeError as exc:
             if not allow_fallback:
@@ -482,4 +491,5 @@ def wytiwyg_recompile(image: BinaryImage,
                                   for lo in layouts.values()),
               notes=list(notes))
     return WytiwygResult(module, recovered, layouts, accuracy,
-                         fallback, notes, check_report=report)
+                         fallback, notes, check_report=report,
+                         traces=traces)

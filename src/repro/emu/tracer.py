@@ -74,6 +74,21 @@ class TraceSet:
         self.results.append(result)
         self.inputs.append(list(input_items))
 
+    def absorb(self, transfers: set[Transfer], executed: set[int],
+               result: RunResult,
+               input_items: list[int | bytes]) -> None:
+        """Fold one previously recorded input run in.
+
+        The per-input counterpart of :meth:`merge` for trace records
+        loaded from the artifact store: absorbing each input's record
+        in request order reconstructs exactly the TraceSet that
+        :func:`trace_binary` would build by re-executing every input.
+        """
+        self.transfers |= transfers
+        self.executed |= executed
+        self.results.append(result)
+        self.inputs.append(list(input_items))
+
     @property
     def call_targets(self) -> set[int]:
         return {t.dst for t in self.transfers if t.kind == "call"}

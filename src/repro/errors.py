@@ -73,3 +73,9 @@ class LowerError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload program or its inputs are inconsistent."""
+
+
+class ServeError(ReproError):
+    """Raised by the recompilation service (:mod:`repro.serve`): a
+    malformed request, a rejected job, or a transport failure between
+    the client and the daemon."""

@@ -9,34 +9,43 @@ image's serialized form, the traced inputs, and an options tag — so a
 hit is valid by construction and the cache never needs manual
 invalidation when binaries change.
 
-Writes are atomic (temp file + rename), which makes the cache safe to
-share between the parallel sweep's worker processes.
+Since the artifact store landed (:mod:`repro.store`), this is a thin
+subclass of :class:`~repro.store.ArtifactStore`: same atomic-write
+discipline (temp file in the same directory + ``os.replace``, so
+concurrent sweep workers can never observe a torn entry), same
+corrupt-entry warn-and-recompute path, but the historical
+``evalcache.*`` counter names, log channel, and ``$REPRO_EVAL_CACHE``
+root are preserved.
 """
 
 from __future__ import annotations
 
 import hashlib
 import logging
-import os
-import pickle
-from pathlib import Path
 
-from .. import obs
 from ..binary.image import BinaryImage
+from ..store import STORE_FORMAT, ArtifactStore
 
 log = logging.getLogger("repro.evaluation.cache")
 
-#: Bump to orphan every existing entry after a format change.
-_FORMAT = "v1"
+#: Kept for compatibility with existing keys; tracks the store format.
+_FORMAT = STORE_FORMAT
 
 
-class EvalCache:
+class EvalCache(ArtifactStore):
     """Pickle store addressed by (image content, inputs, options)."""
 
-    def __init__(self, root: str | Path | None = None):
-        if root is None:
-            root = os.environ.get("REPRO_EVAL_CACHE", ".eval_cache")
-        self.root = Path(root)
+    NAMESPACE = "evalcache"
+    DESCRIBE = "eval-cache"
+    #: The eval cache predates the ``store.put`` counter; its metric
+    #: surface (hit/miss/corrupt) stays as documented in README.
+    PUT_COUNTER = False
+    ENV_VAR = "REPRO_EVAL_CACHE"
+    DEFAULT_ROOT = ".eval_cache"
+
+    @classmethod
+    def _log(cls) -> logging.Logger:
+        return log
 
     @staticmethod
     def key(image: BinaryImage, inputs, options: str = "") -> str:
@@ -64,48 +73,3 @@ class EvalCache:
         h.update(options.encode())
         h.update(_FORMAT.encode())
         return h.hexdigest()[:32]
-
-    def _path(self, kind: str, key: str) -> Path:
-        return self.root / kind / f"{key}.pkl"
-
-    def get(self, kind: str, key: str):
-        """Load a cached artifact, or None on miss/corruption.
-
-        Corruption (a truncated or ununpicklable entry, e.g. from an
-        interrupted writer on a filesystem without atomic rename) falls
-        through to recompute like a miss, but is reported: a structured
-        warning naming the entry, plus the ``evalcache.corrupt``
-        counter, so it never hides as an ordinary miss.
-        """
-        path = self._path(kind, key)
-        try:
-            with path.open("rb") as fh:
-                obj = pickle.load(fh)
-        except FileNotFoundError:
-            obs.count("evalcache.miss")
-            return None
-        except Exception as exc:
-            log.warning(
-                "corrupt eval-cache entry kind=%s key=%s path=%s "
-                "error=%s: %s — recomputing",
-                kind, key, path, type(exc).__name__, exc)
-            obs.count("evalcache.corrupt")
-            return None
-        obs.count("evalcache.hit")
-        return obj
-
-    def put(self, kind: str, key: str, obj) -> None:
-        path = self._path(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with tmp.open("wb") as fh:
-            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
-
-    def memo(self, kind: str, key: str, compute):
-        """Return the cached artifact for ``key``, computing on miss."""
-        obj = self.get(kind, key)
-        if obj is None:
-            obj = compute()
-            self.put(kind, key, obj)
-        return obj

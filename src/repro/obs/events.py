@@ -82,6 +82,14 @@ EVENT_KINDS = frozenset({
     "cache.hit",
     "cache.miss",
     "cache.invalidation",
+    # artifact store (repro.store)
+    "store.hit",
+    "store.miss",
+    "store.put",
+    # serve jobs (repro.serve)
+    "job.submitted",
+    "job.started",
+    "job.finished",
     # optimizer manager
     "opt.memo_hit",
     "opt.skip",

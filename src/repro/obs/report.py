@@ -65,6 +65,8 @@ COUNTER_SECTIONS = (
     ("lowering cache", "lower.cache."),
     ("fork pool", "parallel.pool."),
     ("pass manager", "opt.manager."),
+    ("artifact store", "store."),
+    ("serve", "serve."),
 )
 
 

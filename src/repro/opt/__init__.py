@@ -35,6 +35,7 @@ from .manager import (
     close_opt_pool,
     drop_unused_private_functions,
     memo_enabled,
+    memo_stats,
     opt_jobs_default,
     pass_baseline_enabled,
     run_worklist,
@@ -56,7 +57,7 @@ __all__ = [
     "eliminate_dead_stores", "eliminate_redundant_loads",
     "fold_constants", "fuse_flags", "global_value_numbering", "inline_call",
     "inline_functions", "inline_functions_tracked", "inline_would_change",
-    "memo_enabled", "opt_jobs_default", "optimize_function",
+    "memo_enabled", "memo_stats", "opt_jobs_default", "optimize_function",
     "optimize_module", "pass_baseline_enabled",
     "postorder", "predecessors", "promotable_allocas", "promote_allocas",
     "reachable", "reachable_blocks", "remove_unreachable",

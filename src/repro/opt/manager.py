@@ -227,6 +227,15 @@ def clear_memo() -> None:
     _MODULE_STATE.clear()
 
 
+def memo_stats() -> dict:
+    """Size of the in-process change-tracking state — the warmth a
+    long-lived server has accumulated (reported by ``repro submit
+    --status``)."""
+    return {"memo_entries": len(_MEMO),
+            "fixpoint_functions": len(_FIXPOINT),
+            "module_snapshots": len(_MODULE_STATE)}
+
+
 def _memo_get(key: tuple) -> bool:
     hit = _MEMO.get(key, False)
     if hit:

@@ -75,6 +75,7 @@ class ForkPool:
         self.jobs = max(1, int(jobs))
         self._exec: ProcessPoolExecutor | None = None
         self._key = None
+        self._workers = 0
 
     @property
     def alive(self) -> bool:
@@ -90,8 +91,13 @@ class ForkPool:
         on reuse so workers the executor spawns lazily during later
         submits fork under the right snapshot.
         """
+        workers = min(self.jobs, max(int(ntasks), 1))
         if self._exec is not None:
-            if self._key == key:
+            # A pool sized by a small earlier batch is grown (respawned)
+            # rather than reused when a larger batch arrives — a
+            # long-lived owner (the serve daemon) would otherwise be
+            # stuck at the first request's width forever.
+            if self._key == key and workers <= self._workers:
                 obs.count("parallel.pool.reuses")
                 obs.event("pool.reuse", key=str(key))
                 publish_ctx(ctx)
@@ -99,10 +105,10 @@ class ForkPool:
             self.close()
         publish_ctx(ctx)
         mp_ctx = multiprocessing.get_context("fork")
-        workers = min(self.jobs, max(int(ntasks), 1))
         self._exec = ProcessPoolExecutor(max_workers=workers,
                                          mp_context=mp_ctx)
         self._key = key
+        self._workers = workers
         obs.count("parallel.pool.spawns")
         obs.event("pool.spawn", key=str(key), workers=workers)
         return self._exec

@@ -8,12 +8,14 @@ from .lower import (
     LowerOptions,
     clear_lower_cache,
     lower_cache_enabled,
+    lower_cache_stats,
     lower_function,
 )
 
 __all__ = [
     "FunctionLowerer", "LowerOptions", "RECOMP_TEXT_BASE", "RESULT_REGS",
     "STACK_SWITCH_SAVE", "clear_lower_cache", "compile_ir",
-    "lower_cache_enabled", "lower_function", "lower_module",
+    "lower_cache_enabled", "lower_cache_stats", "lower_function",
+    "lower_module",
     "recompile_ir",
 ]

@@ -208,6 +208,12 @@ def clear_lower_cache() -> None:
     _LAST.clear()
 
 
+def lower_cache_stats() -> dict:
+    """Size of the in-process lowering cache — the warmth a long-lived
+    server has accumulated (reported by ``repro submit --status``)."""
+    return {"entries": len(_CACHE), "functions": len(_LAST)}
+
+
 def _lower_context(module: Module) -> tuple:
     """The module-level facts a :class:`FunctionLowerer` can observe:
     whether indirect calls dispatch through the resolver, and the

@@ -121,9 +121,16 @@ class ReplayEngine:
     pipeline run should :meth:`close` it).
     """
 
-    def __init__(self, traces: TraceSet, jobs: int = 1):
+    def __init__(self, traces: TraceSet, jobs: int = 1,
+                 pool: ForkPool | None = None):
         self.traces = traces
         self.jobs = max(1, int(jobs))
+        if pool is not None:
+            # A caller-owned pool (the serve daemon shares one across
+            # requests, so identical resubmissions reuse live workers).
+            # The pool's worker budget wins over ``jobs`` so the owner
+            # controls the fan-out centrally.
+            self.jobs = max(self.jobs, pool.jobs)
         self.baseline = _baseline()
         seen: set[str] = set()
         #: Indices into ``traces.inputs``, first occurrence of each
@@ -143,15 +150,19 @@ class ReplayEngine:
         #: notes by the driver).
         self.notes: list[str] = []
         #: Shared fork pool, reused across sweeps while the module's
-        #: content fingerprint is unchanged.
-        self.pool = ForkPool(self.jobs)
+        #: content fingerprint is unchanged.  Externally lent pools
+        #: outlive this engine (``close`` leaves them running).
+        self._own_pool = pool is None
+        self.pool = ForkPool(self.jobs) if pool is None else pool
         #: Forces a respawn for sweeps without a content key (baseline
         #: mode keeps the historical pool-per-stage behaviour).
         self._unkeyed = 0
 
     def close(self) -> None:
-        """Release the worker pool (end of the pipeline run)."""
-        self.pool.close()
+        """Release the worker pool (end of the pipeline run).  A pool
+        lent by the caller stays alive for the next request."""
+        if self._own_pool:
+            self.pool.close()
 
     @property
     def unique_inputs(self) -> list[list]:

@@ -1,0 +1,408 @@
+"""repro.serve — recompilation as a service.
+
+A long-lived daemon (``python -m repro serve``) that accepts
+recompilation jobs over a local Unix socket, runs them through the
+store-backed incremental pipeline
+(:func:`repro.core.incremental.incremental_recompile`), and accumulates
+per-image input sets as named **campaigns** (the BinRec model: every
+submission grows the campaign's traced input set, so coverage only ever
+improves).
+
+Why a daemon beats N one-shot processes:
+
+* the content-addressed :class:`~repro.store.ArtifactStore` persists
+  traces and results across requests (and across daemon restarts);
+* the process itself stays warm: the optimizer's cross-stage
+  fingerprint memo, the lowering cache, and the shared replay
+  :class:`~repro.parallel.ForkPool` all survive between jobs, so an
+  input addition re-refines only the functions whose fingerprint
+  moved;
+* jobs execute one at a time on the scheduler (the in-process caches
+  and the fork-pool context are process-global), while each job fans
+  its replay/optimizer sweeps out over the shared pool — concurrency
+  lives inside the job, ordering between jobs stays deterministic.
+
+Protocol: line-delimited JSON — one request object per line, one
+response object per line, over ``AF_UNIX``.  Requests carry an ``op``:
+
+``ping``      liveness probe -> ``{"ok": true, "pid": ...}``
+``submit``    run a job: ``image`` (path) or ``image_json`` (inline),
+              ``inputs`` (list of runs; items are ints or
+              ``{"b": "latin-1 bytes"}``), optional ``campaign``,
+              ``options`` (``optimize``/``check``/``static_widen``/
+              ``hybrid``), ``output`` (path for the recovered image)
+              and ``return_artifact`` (inline the recovered JSON).
+``status``    daemon counters + store stats + campaign list
+``campaign``  one campaign's summary (``name``)
+``shutdown``  stop the daemon (responds first, then exits)
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg,
+"kind": ExceptionName}``.  The full schema is documented in DESIGN.md.
+
+Observability: ledger events ``job.submitted`` / ``job.started`` /
+``job.finished``, a ``job.execute`` span per job, and the store's
+``store.hit`` / ``store.miss`` / ``store.put`` stream — ``repro obs
+diff`` over two reports shows exactly what a warm run reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+from . import obs
+from .binary.image import BinaryImage
+from .core.incremental import incremental_recompile
+from .errors import ServeError
+from .opt.manager import memo_stats
+from .parallel import ForkPool
+from .recompile.lower import lower_cache_stats
+from .store import ArtifactStore, decode_runs, encode_runs, image_key
+
+__all__ = ["RecompileServer", "ServeClient", "serve_forever"]
+
+#: Protocol revision, echoed by ``ping`` so clients can detect drift.
+PROTOCOL_VERSION = 1
+
+#: Largest accepted request line (a 4 MB image JSON fits comfortably).
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+class RecompileServer:
+    """The daemon: a threading Unix-socket server plus a job scheduler.
+
+    One instance per socket path.  Connections are handled on threads;
+    job execution is serialized on :attr:`_job_lock` (FIFO within the
+    OS's lock fairness) because the in-process caches the incremental
+    pipeline relies on are process-global.
+    """
+
+    def __init__(self, socket_path: str | Path,
+                 store: ArtifactStore | str | Path | None = None,
+                 jobs: int = 1, opt_jobs: int | None = None):
+        self.socket_path = Path(socket_path)
+        if isinstance(store, ArtifactStore):
+            self.store = store
+        else:
+            self.store = ArtifactStore(store)
+        self.jobs = max(1, int(jobs))
+        self.opt_jobs = opt_jobs
+        #: Replay fork pool shared across requests (None when serial).
+        self.replay_pool = ForkPool(self.jobs) if self.jobs > 1 else None
+        self._job_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._job_seq = 0
+        self.stats = {"jobs": 0, "served_store": 0,
+                      "served_incremental": 0, "served_cold": 0,
+                      "errors": 0}
+        self._server: socketserver.BaseServer | None = None
+        self._shutdown = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Bind the socket and serve until :meth:`shutdown`."""
+        if self.socket_path.exists():
+            # A stale socket from a crashed daemon: refuse to steal a
+            # live one, silently replace a dead one.
+            if self._socket_alive():
+                raise ServeError(
+                    f"another daemon is serving {self.socket_path}")
+            self.socket_path.unlink()
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                outer._handle_connection(self)
+
+        class Server(socketserver.ThreadingMixIn,
+                     socketserver.UnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = Server(str(self.socket_path), Handler)
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def _socket_alive(self) -> bool:
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(0.5)
+            probe.connect(str(self.socket_path))
+            probe.close()
+            return True
+        except OSError:
+            return False
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (callable from handler threads)."""
+        self._shutdown.set()
+        server = self._server
+        if server is not None:
+            threading.Thread(target=server.shutdown,
+                             daemon=True).start()
+
+    def close(self) -> None:
+        if self.replay_pool is not None:
+            self.replay_pool.close()
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    # -- connection handling ---------------------------------------------
+
+    def _handle_connection(self, handler) -> None:
+        while True:
+            line = handler.rfile.readline(MAX_REQUEST_BYTES)
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ServeError("request must be a JSON object")
+                response = self.dispatch(request)
+            except Exception as exc:  # the daemon must not die
+                with self._state_lock:
+                    self.stats["errors"] += 1
+                response = {"ok": False, "error": str(exc),
+                            "kind": type(exc).__name__}
+            handler.wfile.write(
+                (json.dumps(response, default=repr) + "\n").encode())
+            handler.wfile.flush()
+            if response.get("op") == "shutdown" and response.get("ok"):
+                self.shutdown()
+                return
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "pid": os.getpid(),
+                    "protocol": PROTOCOL_VERSION}
+        if op == "status":
+            with self._state_lock:
+                stats = dict(self.stats)
+            return {"ok": True, "op": "status", "jobs": self.jobs,
+                    "stats": stats, "store": dict(self.store.stats),
+                    "store_root": str(self.store.root),
+                    "campaigns": self.store.list_campaigns(),
+                    "warm": {"opt": memo_stats(),
+                             "lower": lower_cache_stats()}}
+        if op == "campaign":
+            name = request.get("name")
+            campaign = self.store.load_campaign(name) if name else None
+            if campaign is None:
+                raise ServeError(f"unknown campaign {name!r}")
+            return {"ok": True, "op": "campaign",
+                    "campaign": campaign.to_dict()}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "submit":
+            return self._submit(request)
+        raise ServeError(f"unknown op {op!r}")
+
+    # -- jobs ------------------------------------------------------------
+
+    def _load_image(self, request: dict,
+                    campaign) -> tuple[BinaryImage, str]:
+        if request.get("image_json"):
+            image = BinaryImage.from_json(request["image_json"])
+        elif request.get("image"):
+            image = BinaryImage.from_json(
+                Path(request["image"]).read_text())
+        elif campaign is not None:
+            src = self.store.get("source", campaign.image_key)
+            if src is None:
+                raise ServeError(
+                    f"campaign {campaign.name!r} has no stored image; "
+                    f"resubmit with 'image'")
+            return BinaryImage.from_json(src), campaign.image_key
+        else:
+            raise ServeError("submit needs 'image' or 'image_json'")
+        key = image_key(image)
+        # Persist the source so campaign resubmissions can omit it.
+        if not self.store.contains("source", key):
+            self.store.put("source", key, image.to_json())
+        return image, key
+
+    def _submit(self, request: dict) -> dict:
+        with self._state_lock:
+            self._job_seq += 1
+            job_id = self._job_seq
+        runs = decode_runs(request.get("inputs", []))
+        campaign_name = request.get("campaign")
+        options = request.get("options") or {}
+        obs.event("job.submitted", job=job_id,
+                  campaign=campaign_name, inputs=len(runs))
+        obs.count("serve.jobs.submitted")
+        with self._job_lock:
+            campaign = (self.store.load_campaign(campaign_name)
+                        if campaign_name else None)
+            if campaign_name and campaign is None and not runs \
+                    and not (request.get("image")
+                             or request.get("image_json")):
+                raise ServeError(
+                    f"new campaign {campaign_name!r} needs an image "
+                    f"and at least one input")
+            image, img_key = self._load_image(request, campaign)
+            if campaign_name:
+                if campaign is None:
+                    from .store import Campaign
+                    campaign = Campaign(name=campaign_name,
+                                        image_key=img_key)
+                elif campaign.image_key != img_key:
+                    raise ServeError(
+                        f"campaign {campaign_name!r} is bound to image "
+                        f"{campaign.image_key}, got {img_key}")
+                added = campaign.add_inputs(runs)
+                # Jobs run over the accumulated set: coverage grows
+                # monotonically across submissions.
+                runs = [list(items) for items in campaign.inputs]
+                if not runs:
+                    raise ServeError(
+                        f"campaign {campaign_name!r} has no inputs")
+            if not runs:
+                raise ServeError("submit needs at least one input run")
+            obs.event("job.started", job=job_id, image=img_key,
+                      campaign=campaign_name, inputs=len(runs))
+            with obs.span("job.execute", job=job_id,
+                          campaign=campaign_name or "",
+                          inputs=len(runs)) as sp:
+                served = incremental_recompile(
+                    image, runs, self.store,
+                    optimize=options.get("optimize", True),
+                    check=options.get("check"),
+                    static_widen=options.get("static_widen"),
+                    hybrid=options.get("hybrid", False),
+                    jobs=self.jobs, opt_jobs=self.opt_jobs,
+                    replay_pool=self.replay_pool,
+                    collect_accuracy=options.get(
+                        "collect_accuracy", True))
+                if obs.enabled():
+                    sp.set(**served.stats.to_dict())
+            with self._state_lock:
+                self.stats["jobs"] += 1
+                self.stats[f"served_{served.stats.served}"] += 1
+            if campaign_name:
+                campaign.jobs += 1
+                campaign.coverage = dict(served.coverage)
+                self.store.save_campaign(campaign)
+            obs.count(f"serve.jobs.{served.stats.served}")
+        obs.event("job.finished", job=job_id,
+                  **served.stats.to_dict())
+        response: dict = {
+            "ok": True, "op": "submit", "job": job_id,
+            "served": served.stats.served,
+            "stats": served.stats.to_dict(),
+            "image_key": served.image_key,
+            "result_key": served.result_key,
+            "fallback": served.fallback,
+            "notes": list(served.notes),
+            "coverage": dict(served.coverage),
+        }
+        if campaign_name:
+            response["campaign"] = campaign.to_dict()
+        if served.accuracy is not None:
+            response["accuracy"] = {
+                "precision": served.accuracy.precision,
+                "recall": served.accuracy.recall,
+            }
+        if request.get("output"):
+            Path(request["output"]).write_text(
+                served.recovered.to_json())
+            response["output"] = request["output"]
+        if request.get("return_artifact"):
+            response["artifact"] = served.recovered.to_json()
+        return response
+
+
+class ServeClient:
+    """Line-delimited-JSON client for a :class:`RecompileServer`.
+
+    One connection per request keeps the client trivially robust; the
+    daemon holds no per-connection state.
+    """
+
+    def __init__(self, socket_path: str | Path, timeout: float = 600.0):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def request(self, op: str, **fields) -> dict:
+        doc = {"op": op, **fields}
+        try:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(self.timeout)
+            conn.connect(self.socket_path)
+            conn.sendall((json.dumps(doc) + "\n").encode())
+            chunks = []
+            while True:
+                chunk = conn.recv(1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+            conn.close()
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.socket_path}: {exc}") \
+                from exc
+        if not chunks:
+            raise ServeError("daemon closed the connection mid-request")
+        response = json.loads(b"".join(chunks))
+        if not response.get("ok"):
+            raise ServeError(
+                f"{response.get('kind', 'error')}: "
+                f"{response.get('error', 'request failed')}")
+        return response
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def campaign(self, name: str) -> dict:
+        return self.request("campaign", name=name)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def submit(self, image: str | Path | None = None,
+               image_json: str | None = None,
+               inputs: list[list] | None = None,
+               campaign: str | None = None,
+               options: dict | None = None,
+               output: str | None = None,
+               return_artifact: bool = False) -> dict:
+        fields: dict = {"inputs": encode_runs(inputs or [])}
+        if image is not None:
+            fields["image"] = str(image)
+        if image_json is not None:
+            fields["image_json"] = image_json
+        if campaign is not None:
+            fields["campaign"] = campaign
+        if options:
+            fields["options"] = options
+        if output is not None:
+            fields["output"] = output
+        if return_artifact:
+            fields["return_artifact"] = True
+        return self.request("submit", **fields)
+
+
+def serve_forever(socket_path: str | Path,
+                  store: str | Path | None = None,
+                  jobs: int = 1,
+                  opt_jobs: int | None = None) -> RecompileServer:
+    """Convenience entry: build a server and block serving requests."""
+    server = RecompileServer(socket_path, store=store, jobs=jobs,
+                             opt_jobs=opt_jobs)
+    server.serve_forever()
+    return server

@@ -1,0 +1,347 @@
+"""repro.store — the content-addressed artifact store.
+
+One keyed, on-disk store for every expensive artifact the pipeline
+produces: per-input traces, merged tracing-runtime state, lifted and
+optimized modules, lowered functions, recompiled images, and full job
+results.  It generalizes the evaluation harness's
+:class:`~repro.evaluation.cache.EvalCache` (now a thin subclass) and
+reuses the replay engine's content fingerprints
+(:func:`~repro.replay.fingerprint.module_fingerprint`) so an artifact's
+key is a digest of exactly the content that determines it — a hit is
+valid by construction and nothing ever needs manual invalidation.
+
+Key model (full table in DESIGN.md):
+
+==========  ============================================================
+kind        keyed on
+==========  ============================================================
+trace       image content + one input run + cost-model tag
+result      image content + ordered input runs + pipeline options tag
+source      image content (the submitted image itself, for campaign
+            resubmission without re-uploading)
+module      module fingerprint + options tag (optimized/lowered forms)
+==========  ============================================================
+
+Kinds are open-ended (each is a subdirectory); the table lists the
+canonical ones used by :mod:`repro.core.incremental` and
+:mod:`repro.serve`.
+
+Writes are **atomic**: the entry is written to a temp file in the same
+directory, fsynced, and moved into place with :func:`os.replace`, so a
+reader racing a writer sees either the old entry or the new one —
+never a torn pickle.  Concurrent writers (forked sweep workers, several
+serve jobs) therefore share one store safely; last writer wins, and
+both wrote the same bytes anyway because the key pins the content.
+
+Observability: counters ``store.hit`` / ``store.miss`` / ``store.put``
+/ ``store.corrupt`` (namespace overridable by subclasses — the
+evaluation cache keeps its historical ``evalcache.*`` names) and ledger
+events ``store.hit`` / ``store.miss`` / ``store.put`` carrying the
+artifact kind and key, so ``repro obs diff`` can compare warm and cold
+service runs.  Each store instance also tracks in-process
+:attr:`ArtifactStore.stats` for callers (the serve status op, tests)
+that do not want to arm the global recorder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import logging
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import obs
+
+__all__ = [
+    "ArtifactStore",
+    "Campaign",
+    "atomic_write_bytes",
+    "decode_items",
+    "decode_runs",
+    "encode_items",
+    "encode_runs",
+    "image_key",
+    "options_tag",
+    "result_key",
+    "trace_key",
+]
+
+log = logging.getLogger("repro.store")
+
+#: Bump to orphan every existing entry after a format change.
+STORE_FORMAT = "v1"
+
+#: Thread-unique suffix source for temp names (fork-safe together with
+#: the pid component — a forked child starts from the inherited value
+#: but writes under its own pid).
+_TMP_SEQ = itertools.count()
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically.
+
+    The bytes land in a temp file *in the same directory* (so the final
+    :func:`os.replace` cannot cross a filesystem boundary), are flushed
+    and fsynced, and are moved into place in one step.  A concurrent
+    reader observes either the previous entry or the complete new one.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+# -- keys ----------------------------------------------------------------
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    h.update(STORE_FORMAT.encode())
+    return h.hexdigest()[:32]
+
+
+def image_key(image) -> str:
+    """Digest of a binary image's full serialized content."""
+    return _digest("image", image.to_json())
+
+
+def trace_key(img_key: str, items, costs: str = "default") -> str:
+    """Digest addressing the trace of one input run of one image."""
+    return _digest("trace", img_key, repr(list(items)), costs)
+
+
+def result_key(img_key: str, runs, options: str) -> str:
+    """Digest addressing a full pipeline result: the image, the ordered
+    input runs (order matters — it fixes trace-merge order), and the
+    pipeline options tag (:func:`options_tag`)."""
+    return _digest("result", img_key,
+                   repr([list(items) for items in runs]), options)
+
+
+def options_tag(**options) -> str:
+    """Canonical rendering of a pipeline-options mapping for keying."""
+    return json.dumps(
+        {k: options[k] for k in sorted(options)},
+        separators=(",", ":"), default=repr)
+
+
+# -- JSON-safe input encoding (shared with the serve protocol) -----------
+
+def encode_items(items) -> list:
+    """One input run as JSON-safe values (bytes ride as ``{"b": ...}``
+    latin-1 strings)."""
+    out = []
+    for item in items:
+        if isinstance(item, bytes):
+            out.append({"b": item.decode("latin-1")})
+        else:
+            out.append(int(item))
+    return out
+
+
+def decode_items(items) -> list:
+    out = []
+    for item in items:
+        if isinstance(item, dict):
+            out.append(str(item["b"]).encode("latin-1"))
+        elif isinstance(item, str):
+            out.append(item.encode("latin-1"))
+        else:
+            out.append(int(item))
+    return out
+
+
+def encode_runs(runs) -> list:
+    return [encode_items(items) for items in runs]
+
+
+def decode_runs(runs) -> list:
+    return [decode_items(items) for items in runs]
+
+
+# -- the store -----------------------------------------------------------
+
+class ArtifactStore:
+    """Pickle store addressed by content digests, with atomic writes.
+
+    ``root`` defaults to ``$REPRO_STORE`` (``.repro_store`` when unset).
+    Subclasses may override :attr:`NAMESPACE` (counter prefix),
+    :attr:`DESCRIBE` (log wording) and :attr:`PUT_COUNTER`.
+    """
+
+    NAMESPACE = "store"
+    DESCRIBE = "store"
+    PUT_COUNTER = True
+    ENV_VAR = "REPRO_STORE"
+    DEFAULT_ROOT = ".repro_store"
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get(self.ENV_VAR, self.DEFAULT_ROOT)
+        self.root = Path(root)
+        #: In-process counts: hit / miss / put / corrupt.
+        self.stats: dict[str, int] = {"hit": 0, "miss": 0, "put": 0,
+                                      "corrupt": 0}
+        self._lock = threading.Lock()
+
+    def _count(self, what: str) -> None:
+        with self._lock:
+            self.stats[what] += 1
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.pkl"
+
+    def get(self, kind: str, key: str):
+        """Load a cached artifact, or None on miss/corruption.
+
+        Corruption (a truncated or ununpicklable entry) falls through
+        to recompute like a miss, but is reported: a structured warning
+        naming the entry plus the ``<ns>.corrupt`` counter, so it never
+        hides as an ordinary miss.
+        """
+        path = self._path(kind, key)
+        try:
+            with path.open("rb") as fh:
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            self._count("miss")
+            obs.count(f"{self.NAMESPACE}.miss")
+            obs.event("store.miss", store=self.NAMESPACE, artifact=kind,
+                      key=key)
+            return None
+        except Exception as exc:
+            self._count("corrupt")
+            type(self)._log().warning(
+                "corrupt %s entry kind=%s key=%s path=%s "
+                "error=%s: %s — recomputing",
+                self.DESCRIBE, kind, key, path,
+                type(exc).__name__, exc)
+            obs.count(f"{self.NAMESPACE}.corrupt")
+            obs.event("store.miss", store=self.NAMESPACE, artifact=kind,
+                      key=key, corrupt=True)
+            return None
+        self._count("hit")
+        obs.count(f"{self.NAMESPACE}.hit")
+        obs.event("store.hit", store=self.NAMESPACE, artifact=kind, key=key)
+        return obj
+
+    def put(self, kind: str, key: str, obj) -> None:
+        """Store an artifact atomically (temp file + ``os.replace``)."""
+        atomic_write_bytes(
+            self._path(kind, key),
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        self._count("put")
+        if self.PUT_COUNTER:
+            obs.count(f"{self.NAMESPACE}.put")
+        obs.event("store.put", store=self.NAMESPACE, artifact=kind, key=key)
+
+    def memo(self, kind: str, key: str, compute):
+        """Return the cached artifact for ``key``, computing on miss."""
+        obj = self.get(kind, key)
+        if obj is None:
+            obj = compute()
+            self.put(kind, key, obj)
+        return obj
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Presence probe without loading (no hit/miss accounting)."""
+        return self._path(kind, key).exists()
+
+    @classmethod
+    def _log(cls) -> logging.Logger:
+        return log
+
+    # -- campaigns -------------------------------------------------------
+
+    def _campaign_path(self, name: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                       for c in name)
+        return self.root / "campaign" / f"{safe}.json"
+
+    def load_campaign(self, name: str) -> "Campaign | None":
+        path = self._campaign_path(name)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError) as exc:
+            log.warning("corrupt campaign %s at %s: %s — starting fresh",
+                        name, path, exc)
+            return None
+        return Campaign.from_dict(doc)
+
+    def save_campaign(self, campaign: "Campaign") -> None:
+        atomic_write_bytes(
+            self._campaign_path(campaign.name),
+            (json.dumps(campaign.to_dict(), indent=2, sort_keys=True)
+             + "\n").encode())
+
+    def list_campaigns(self) -> list[str]:
+        root = self.root / "campaign"
+        if not root.is_dir():
+            return []
+        return sorted(p.stem for p in root.glob("*.json"))
+
+
+@dataclass
+class Campaign:
+    """A named, per-image accumulated input set (the BinRec campaign
+    model): every submission unions its input runs into the campaign,
+    and jobs for the campaign run over the *accumulated* set, so
+    coverage only ever grows.  Persisted as JSON in the store
+    (``campaign/<name>.json``), atomically rewritten per update."""
+
+    name: str
+    image_key: str
+    #: Accumulated input runs, in first-submission order, deduplicated.
+    inputs: list[list] = field(default_factory=list)
+    #: Jobs executed against this campaign.
+    jobs: int = 0
+    #: Latest coverage summary (trace-derived).
+    coverage: dict = field(default_factory=dict)
+
+    def add_inputs(self, runs) -> list[list]:
+        """Union new input runs in; returns the runs actually added."""
+        seen = {repr(items) for items in self.inputs}
+        added = []
+        for items in runs:
+            items = list(items)
+            if repr(items) not in seen:
+                seen.add(repr(items))
+                self.inputs.append(items)
+                added.append(items)
+        return added
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "image_key": self.image_key,
+            "inputs": encode_runs(self.inputs),
+            "jobs": self.jobs,
+            "coverage": dict(self.coverage),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Campaign":
+        return cls(name=doc["name"], image_key=doc["image_key"],
+                   inputs=decode_runs(doc.get("inputs", [])),
+                   jobs=int(doc.get("jobs", 0)),
+                   coverage=dict(doc.get("coverage", {})))

@@ -1,0 +1,241 @@
+"""The recompilation daemon: protocol, scheduling, campaigns."""
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import compile_source, obs, run_binary
+from repro.binary import BinaryImage
+from repro.errors import ServeError
+from repro.serve import PROTOCOL_VERSION, RecompileServer, ServeClient
+from repro.store import ArtifactStore
+
+SOURCE = r"""
+int score(int kind, int value) {
+    if (kind == 0) return value * 2;
+    if (kind == 1) return value + 100;
+    return -value;
+}
+
+int main() {
+    int kind = read_int();
+    int value = read_int();
+    printf("score=%d\n", score(kind, value));
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_source(SOURCE, "gcc12", "3", "servetest")
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    yield
+    obs.disable_ledger()
+    obs.disable()
+
+
+def _wait_for_socket(path: str, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        time.sleep(0.02)
+    raise RuntimeError(f"daemon socket {path} never appeared")
+
+
+def _wait_for_daemon(path: str, timeout: float = 10.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return ServeClient(path, timeout=timeout).ping()
+        except ServeError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.02)
+
+
+@pytest.fixture
+def served(tmp_path):
+    # AF_UNIX paths are length-limited (~104 bytes); pytest tmp paths
+    # can exceed that, so the socket lives in a short mkdtemp dir.
+    sockdir = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(sockdir, "d.sock")
+    server = RecompileServer(sock, store=ArtifactStore(tmp_path / "store"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    _wait_for_socket(sock)
+    client = ServeClient(sock, timeout=300)
+    try:
+        yield server, client
+    finally:
+        if not server._shutdown.is_set():
+            try:
+                client.shutdown()
+            except ServeError:
+                pass
+        thread.join(timeout=10)
+        server.close()
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+def test_ping_reports_protocol(served):
+    server, client = served
+    response = client.ping()
+    assert response["pid"] == os.getpid()
+    assert response["protocol"] == PROTOCOL_VERSION
+
+
+def test_resubmission_is_served_from_store_byte_identical(served, image):
+    server, client = served
+    first = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                          return_artifact=True)
+    assert first["served"] == "cold"
+    assert first["stats"]["traces_recorded"] == 1
+
+    second = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                           return_artifact=True)
+    assert second["served"] == "store"
+    assert second["stats"]["traces_recorded"] == 0
+    assert second["artifact"] == first["artifact"]
+    assert second["result_key"] == first["result_key"]
+
+    recovered = BinaryImage.from_json(first["artifact"])
+    assert run_binary(recovered, [0, 7]).stdout == b"score=14\n"
+
+
+def test_campaign_accumulates_inputs_and_stores_source(served, image):
+    server, client = served
+    first = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                          campaign="demo")
+    assert first["campaign"]["inputs"] == [[0, 7]]
+
+    # The source is persisted, so follow-ups can omit the image; the
+    # job runs over the accumulated input set.
+    second = client.submit(inputs=[[2, 5]], campaign="demo",
+                           return_artifact=True)
+    assert second["served"] == "incremental"
+    assert second["stats"]["traces_reused"] == 1
+    assert second["stats"]["traces_recorded"] == 1
+    assert second["campaign"]["inputs"] == [[0, 7], [2, 5]]
+    assert second["campaign"]["jobs"] == 2
+    assert second["coverage"]["inputs"] == 2
+
+    summary = client.campaign("demo")["campaign"]
+    assert summary["inputs"] == [[0, 7], [2, 5]]
+    assert summary["coverage"] == second["coverage"]
+
+    recovered = BinaryImage.from_json(second["artifact"])
+    assert run_binary(recovered, [2, 5]).stdout == b"score=-5\n"
+    assert run_binary(recovered, [0, 7]).stdout == b"score=14\n"
+
+
+def test_status_reports_stats_and_warm_caches(served, image):
+    server, client = served
+    client.submit(image_json=image.to_json(), inputs=[[1, 7]])
+    status = client.status()
+    assert status["stats"]["jobs"] == 1
+    assert status["stats"]["served_cold"] == 1
+    assert status["store"]["put"] >= 2
+    assert "memo_entries" in status["warm"]["opt"]
+    assert "entries" in status["warm"]["lower"]
+    assert status["campaigns"] == []
+
+
+def test_errors_do_not_kill_the_daemon(served, image):
+    server, client = served
+    with pytest.raises(ServeError, match="unknown op"):
+        client.request("frobnicate")
+    with pytest.raises(ServeError, match="needs 'image'"):
+        client.submit(inputs=[[1]])
+    with pytest.raises(ServeError, match="unknown campaign"):
+        client.campaign("absent")
+    with pytest.raises(ServeError, match="at least one input"):
+        client.submit(image_json=image.to_json())
+    assert client.ping()["ok"]
+    assert client.status()["stats"]["errors"] == 4
+    assert client.status()["stats"]["jobs"] == 0
+
+
+def test_campaign_rejects_image_rebinding(served, image):
+    server, client = served
+    other = compile_source(SOURCE.replace("* 2", "* 3"),
+                           "gcc12", "3", "servetest2")
+    client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                  campaign="demo")
+    with pytest.raises(ServeError, match="bound to image"):
+        client.submit(image_json=other.to_json(), inputs=[[1, 1]],
+                      campaign="demo")
+
+
+def test_malformed_request_line_gets_error_response(served):
+    server, client = served
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(10)
+    conn.connect(client.socket_path)
+    conn.sendall(b"this is not json\n")
+    raw = conn.makefile("rb").readline()
+    conn.close()
+    response = json.loads(raw)
+    assert response["ok"] is False
+    assert response["kind"] == "JSONDecodeError"
+
+
+def test_job_events_reach_the_ledger(served, image):
+    server, client = served
+    led = obs.enable_ledger()
+    client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                  campaign="demo")
+    kinds = [e["kind"] for e in led.events]
+    for kind in ("job.submitted", "job.started", "job.finished",
+                 "store.miss", "store.put"):
+        assert kind in kinds, kind
+    finished = [e for e in led.events if e["kind"] == "job.finished"]
+    assert finished[0]["served"] == "cold"
+    assert finished[0]["job"] == 1
+
+
+def test_stale_socket_is_replaced_live_socket_refused(served):
+    server, client = served
+    # A second daemon must refuse to steal the live socket.
+    rival = RecompileServer(server.socket_path, store=server.store)
+    with pytest.raises(ServeError, match="another daemon"):
+        rival.serve_forever()
+    assert client.ping()["ok"]  # the refusal left the live daemon alone
+    # But a dead leftover socket file is silently replaced.
+    sockdir = tempfile.mkdtemp(prefix="repro-stale-")
+    stale = os.path.join(sockdir, "d.sock")
+    try:
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(stale)
+        dead.close()  # file remains, nobody listening
+        fresh = RecompileServer(stale, store=server.store)
+        thread = threading.Thread(target=fresh.serve_forever,
+                                  daemon=True)
+        thread.start()
+        assert _wait_for_daemon(stale)["ok"]
+        ServeClient(stale).shutdown()
+        thread.join(timeout=10)
+    finally:
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+def test_shutdown_stops_the_daemon_and_removes_socket(served):
+    server, client = served
+    assert client.shutdown()["ok"]
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and os.path.exists(
+            client.socket_path):
+        time.sleep(0.02)
+    assert not os.path.exists(client.socket_path)
+    with pytest.raises(ServeError, match="cannot reach"):
+        client.ping()

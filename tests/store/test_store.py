@@ -1,0 +1,208 @@
+"""ArtifactStore: keys, atomic writes, corruption, campaigns."""
+
+import logging
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.store import (
+    ArtifactStore,
+    Campaign,
+    atomic_write_bytes,
+    decode_items,
+    decode_runs,
+    encode_items,
+    encode_runs,
+    image_key,
+    options_tag,
+    result_key,
+    trace_key,
+)
+
+
+class _FakeImage:
+    def __init__(self, text):
+        self._text = text
+
+    def to_json(self):
+        return self._text
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    yield
+    obs.disable_ledger()
+    obs.disable()
+
+
+# -- keys ----------------------------------------------------------------
+
+def test_image_key_tracks_content():
+    a = image_key(_FakeImage('{"x": 1}'))
+    b = image_key(_FakeImage('{"x": 1}'))
+    c = image_key(_FakeImage('{"x": 2}'))
+    assert a == b
+    assert a != c
+    assert len(a) == 32
+
+
+def test_trace_key_separates_inputs_and_cost_model():
+    base = trace_key("img", [1, 2])
+    assert trace_key("img", [1, 2]) == base
+    assert trace_key("img", [2, 1]) != base
+    assert trace_key("img", [1, 2], costs="alt") != base
+    assert trace_key("other", [1, 2]) != base
+
+
+def test_result_key_is_order_sensitive():
+    opts = options_tag(optimize=True)
+    base = result_key("img", [[1], [2]], opts)
+    assert result_key("img", [[1], [2]], opts) == base
+    assert result_key("img", [[2], [1]], opts) != base
+    assert result_key("img", [[1], [2]], options_tag(optimize=False)) != base
+
+
+def test_options_tag_is_canonical():
+    assert options_tag(b=2, a=1) == options_tag(a=1, b=2)
+    assert options_tag(a=1) != options_tag(a=2)
+
+
+def test_items_encode_round_trips_bytes_and_ints():
+    items = [3, b"hi\xff", 0]
+    assert decode_items(encode_items(items)) == items
+    runs = [[1, b"x"], [2]]
+    assert decode_runs(encode_runs(runs)) == runs
+    # The encoded form must be plain JSON values.
+    import json
+    json.dumps(encode_runs(runs))
+
+
+# -- atomic writes -------------------------------------------------------
+
+def test_atomic_write_creates_parents_and_leaves_no_temps(tmp_path):
+    target = tmp_path / "deep" / "entry.bin"
+    atomic_write_bytes(target, b"one")
+    assert target.read_bytes() == b"one"
+    atomic_write_bytes(target, b"two")
+    assert target.read_bytes() == b"two"
+    leftovers = [p for p in target.parent.iterdir() if p != target]
+    assert leftovers == []
+
+
+def test_atomic_write_failure_cleans_up_temp(tmp_path, monkeypatch):
+    target = tmp_path / "entry.bin"
+    import repro.store as store_mod
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(store_mod.os, "replace", boom)
+    with pytest.raises(OSError):
+        atomic_write_bytes(target, b"payload")
+    assert list(tmp_path.iterdir()) == []
+
+
+# -- the store -----------------------------------------------------------
+
+def test_round_trip_counters_and_events(tmp_path):
+    store = ArtifactStore(tmp_path)
+    obs.enable(reset=True)
+    led = obs.enable_ledger()
+    assert store.get("trace", "absent") is None
+    store.put("trace", "k", {"payload": 42})
+    assert store.get("trace", "k") == {"payload": 42}
+    counters = dict(obs.recorder().registry.counters)
+    assert counters == {"store.miss": 1, "store.put": 1, "store.hit": 1}
+    kinds = [e["kind"] for e in led.events]
+    assert kinds == ["store.miss", "store.put", "store.hit"]
+    assert all(e["store"] == "store" for e in led.events)
+    assert all(e["artifact"] == "trace" for e in led.events)
+    assert store.stats == {"hit": 1, "miss": 1, "put": 1, "corrupt": 0}
+
+
+def test_corrupt_entry_recomputes_with_warning(tmp_path, caplog):
+    store = ArtifactStore(tmp_path)
+    store.put("trace", "k", {"payload": 42})
+    store._path("trace", "k").write_bytes(b"\x80\x04 not a pickle")
+    with caplog.at_level(logging.WARNING, logger="repro.store"):
+        assert store.get("trace", "k") is None
+    assert store.stats["corrupt"] == 1
+    assert any("corrupt store entry" in r.getMessage()
+               for r in caplog.records)
+
+
+def test_memo_computes_once(tmp_path):
+    store = ArtifactStore(tmp_path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"v": 7}
+
+    assert store.memo("module", "m", compute) == {"v": 7}
+    assert store.memo("module", "m", compute) == {"v": 7}
+    assert len(calls) == 1
+    assert store.contains("module", "m")
+    assert not store.contains("module", "absent")
+
+
+def test_env_var_picks_default_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envroot"))
+    store = ArtifactStore()
+    assert store.root == tmp_path / "envroot"
+
+
+def test_kinds_live_in_separate_namespaces(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("trace", "k", "a trace")
+    store.put("result", "k", "a result")
+    assert store.get("trace", "k") == "a trace"
+    assert store.get("result", "k") == "a result"
+
+
+def test_put_is_pickled_payload(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("trace", "k", {"x": 1})
+    raw = store._path("trace", "k").read_bytes()
+    assert pickle.loads(raw) == {"x": 1}
+
+
+# -- campaigns -----------------------------------------------------------
+
+def test_campaign_add_inputs_dedups_in_order():
+    campaign = Campaign("demo", "imgkey")
+    added = campaign.add_inputs([[1, 2], [3]])
+    assert added == [[1, 2], [3]]
+    added = campaign.add_inputs([[3], [4], [1, 2]])
+    assert added == [[4]]
+    assert campaign.inputs == [[1, 2], [3], [4]]
+
+
+def test_campaign_round_trip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    campaign = Campaign("demo", "imgkey", inputs=[[1, b"x"]], jobs=3,
+                        coverage={"executed": 10})
+    store.save_campaign(campaign)
+    loaded = store.load_campaign("demo")
+    assert loaded == campaign
+    assert store.list_campaigns() == ["demo"]
+    assert store.load_campaign("absent") is None
+
+
+def test_campaign_name_is_sanitized(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save_campaign(Campaign("a/b c", "imgkey"))
+    path = store._campaign_path("a/b c")
+    assert path.exists()
+    assert "/" not in path.stem and " " not in path.stem
+
+
+def test_corrupt_campaign_starts_fresh(tmp_path, caplog):
+    store = ArtifactStore(tmp_path)
+    store.save_campaign(Campaign("demo", "imgkey"))
+    store._campaign_path("demo").write_text("{not json")
+    with caplog.at_level(logging.WARNING, logger="repro.store"):
+        assert store.load_campaign("demo") is None
+    assert any("corrupt campaign" in r.getMessage()
+               for r in caplog.records)

@@ -29,6 +29,12 @@
 # (warm hit rate, functions re-lowered after a one-function edit) and
 # the parallel per-function optimizer (jobs=4) against the legacy
 # schedule.
+#
+# The service benches run as a sixth pass and emit BENCH_serve.json:
+# a replayed campaign against the warm artifact store vs N cold
+# one-shot recompiles, and an incremental one-input addition vs the
+# cold one-shot over the full input set (trace/function reuse rates,
+# byte-identity enforced in the tests themselves).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,6 +44,7 @@ OBS_OUT="${BENCH_OBS_JSON:-BENCH_obs.json}"
 REPLAY_OUT="${BENCH_REPLAY_JSON:-BENCH_replay.json}"
 OPT_OUT="${BENCH_OPT_JSON:-BENCH_opt.json}"
 LOWER_OUT="${BENCH_LOWER_JSON:-BENCH_lower.json}"
+SERVE_OUT="${BENCH_SERVE_JSON:-BENCH_serve.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -74,3 +81,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_lower.py \
     -p no:cacheprovider
 
 echo "backend benchmark report written to $LOWER_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_serve.py \
+    --benchmark-only \
+    --benchmark-json "$SERVE_OUT" \
+    -p no:cacheprovider
+
+echo "service benchmark report written to $SERVE_OUT"
