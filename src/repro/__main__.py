@@ -132,9 +132,13 @@ def cmd_recompile(args) -> int:
 def cmd_serve(args) -> int:
     from .serve import RecompileServer
     server = RecompileServer(args.socket, store=args.store,
-                             jobs=args.jobs, opt_jobs=args.opt_jobs)
+                             jobs=args.jobs, opt_jobs=args.opt_jobs,
+                             workers=args.workers,
+                             queue_depth=args.queue_depth,
+                             job_timeout=args.job_timeout)
+    pool = (f", workers={server.workers}" if server.workers else "")
     print(f"repro serve: listening on {args.socket} "
-          f"(store {server.store.root}, jobs={server.jobs})",
+          f"(store {server.store.root}, jobs={server.jobs}{pool})",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -170,6 +174,37 @@ def cmd_submit(args) -> int:
             image=args.image, inputs=runs, campaign=args.campaign,
             options=options or None, output=args.output)
     print(json.dumps(response, indent=2, default=repr))
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """A byte count with an optional K/M/G suffix (binary units)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = text.strip().lower().removesuffix("b")
+    factor = units.get(text[-1:], None)
+    if factor is not None:
+        text = text[:-1]
+    try:
+        return int(float(text) * (factor or 1))
+    except ValueError:
+        raise SystemExit(f"bad size {text!r}: use bytes or a K/M/G "
+                         f"suffix (e.g. 512M)") from None
+
+
+def cmd_store_gc(args) -> int:
+    from .store import ArtifactStore
+    store = ArtifactStore(args.store)
+    summary = store.gc(_parse_size(args.max_bytes),
+                       pin_campaigns=not args.no_pin,
+                       dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"store gc [{store.root}]: {verb} {summary['evicted']} "
+          f"entries ({summary['evicted_bytes']} bytes), "
+          f"{summary['after_bytes']}/{summary['limit_bytes']} bytes "
+          f"kept, {summary['pinned_kept']} campaign-pinned skipped",
+          file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        print(json.dumps(summary, indent=2))
     return 0
 
 
@@ -333,6 +368,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--opt-jobs", type=int, default=None, metavar="N",
                    help="fan each job's optimizer visits over N "
                         "worker processes (default $REPRO_OPT_JOBS)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="run jobs on a pool of N long-lived worker "
+                        "processes with warm-cache image affinity "
+                        "(default 0: jobs serialize in-process)")
+    p.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                   help="bound the scheduler's job queue (default "
+                        "4 per worker); submissions past it are "
+                        "rejected with a retry hint")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job wall-clock limit (needs --workers): "
+                        "an overrunning job fails and its worker is "
+                        "recycled")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -363,6 +411,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--campaign-info", default=None, metavar="NAME",
                    help="print one campaign's summary instead of a job")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "store", help="artifact-store maintenance (gc)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    q = store_sub.add_parser(
+        "gc",
+        help="evict least-recently-used artifacts down to a byte cap")
+    q.add_argument("--max-bytes", required=True, metavar="SIZE",
+                   help="target store size (bytes, or K/M/G suffix)")
+    q.add_argument("--store", default=None, metavar="DIR",
+                   help="store root (default $REPRO_STORE or "
+                        ".repro_store)")
+    q.add_argument("--dry-run", action="store_true",
+                   help="report what would be evicted, delete nothing")
+    q.add_argument("--no-pin", action="store_true",
+                   help="allow evicting campaign sources and traces "
+                        "(breaks image-less campaign resubmission)")
+    q.add_argument("--json", action="store_true",
+                   help="also print the full summary as JSON")
+    q.set_defaults(func=cmd_store_gc)
 
     p = sub.add_parser("layout", help="print recovered stack layouts")
     p.add_argument("image")

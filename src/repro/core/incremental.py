@@ -55,7 +55,20 @@ from ..store import (
 from .driver import WytiwygResult, wytiwyg_recompile
 
 __all__ = ["JobStats", "ServedResult", "gather_traces",
-           "incremental_recompile", "pipeline_options_tag"]
+           "incremental_recompile", "pipeline_options_tag",
+           "warm_stats"]
+
+
+def warm_stats() -> dict:
+    """Snapshot of this process's warm incremental state: the
+    optimizer's cross-stage fingerprint memo and the lowering cache.
+    In the single-process daemon these belong to the daemon itself; in
+    scheduler mode (:mod:`repro.sched`) each worker process reports its
+    own via the job-result payload, because the warm state lives
+    per-worker, not in the parent."""
+    from ..opt.manager import memo_stats
+    from ..recompile.lower import lower_cache_stats
+    return {"opt": memo_stats(), "lower": lower_cache_stats()}
 
 
 @dataclass

@@ -79,3 +79,30 @@ class ServeError(ReproError):
     """Raised by the recompilation service (:mod:`repro.serve`): a
     malformed request, a rejected job, or a transport failure between
     the client and the daemon."""
+
+
+class SchedError(ReproError):
+    """Raised by the serve daemon's job scheduler (:mod:`repro.sched`):
+    submitting to a stopped scheduler, shutdown races, or a worker-pool
+    failure that cannot be attributed to one job."""
+
+
+class SchedRejected(SchedError):
+    """Raised when the scheduler's bounded job queue is full
+    (backpressure).  :attr:`retry_after` is the server's estimate, in
+    seconds, of when capacity frees up — clients should back off and
+    resubmit."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class RemoteJobError(ServeError):
+    """A job failed inside a scheduler worker process.  The original
+    exception's class name travels as :attr:`remote_kind` so the serve
+    protocol can report it exactly as the in-process path would."""
+
+    def __init__(self, message: str, remote_kind: str = "RemoteJobError"):
+        self.remote_kind = remote_kind
+        super().__init__(message)

@@ -86,10 +86,16 @@ EVENT_KINDS = frozenset({
     "store.hit",
     "store.miss",
     "store.put",
+    "store.evicted",
     # serve jobs (repro.serve)
     "job.submitted",
     "job.started",
     "job.finished",
+    "job.timeout",
+    # job scheduler (repro.sched)
+    "sched.dispatch",
+    "sched.steal",
+    "sched.reject",
     # optimizer manager
     "opt.memo_hit",
     "opt.skip",

@@ -12,15 +12,19 @@ Why a daemon beats N one-shot processes:
 
 * the content-addressed :class:`~repro.store.ArtifactStore` persists
   traces and results across requests (and across daemon restarts);
-* the process itself stays warm: the optimizer's cross-stage
+* the serving processes stay warm: the optimizer's cross-stage
   fingerprint memo, the lowering cache, and the shared replay
   :class:`~repro.parallel.ForkPool` all survive between jobs, so an
   input addition re-refines only the functions whose fingerprint
   moved;
-* jobs execute one at a time on the scheduler (the in-process caches
-  and the fork-pool context are process-global), while each job fans
-  its replay/optimizer sweeps out over the shared pool — concurrency
-  lives inside the job, ordering between jobs stays deterministic.
+* with ``--workers N`` jobs execute on a pool of long-lived worker
+  processes (:mod:`repro.sched`): distinct images recompile
+  concurrently, repeat requests for one image are routed to the worker
+  whose caches are already warm for it (image-affinity dispatch with
+  work-stealing fallback), and a bounded queue applies backpressure.
+  Without ``--workers`` (the default) jobs serialize on one in-process
+  lock exactly as before — the two modes produce byte-identical
+  artifacts because every reuse layer is content-pinned.
 
 Protocol: line-delimited JSON — one request object per line, one
 response object per line, over ``AF_UNIX``.  Requests carry an ``op``:
@@ -32,22 +36,29 @@ response object per line, over ``AF_UNIX``.  Requests carry an ``op``:
               ``options`` (``optimize``/``check``/``static_widen``/
               ``hybrid``), ``output`` (path for the recovered image)
               and ``return_artifact`` (inline the recovered JSON).
-``status``    daemon counters + store stats + campaign list
+``status``    daemon counters + store stats + campaign list (+
+              scheduler snapshot under ``sched`` in pool mode)
 ``campaign``  one campaign's summary (``name``)
-``shutdown``  stop the daemon (responds first, then exits)
+``shutdown``  stop the daemon (responds first, drains in-flight jobs,
+              then exits; new submits are rejected during the drain)
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg,
-"kind": ExceptionName}``.  The full schema is documented in DESIGN.md.
+"kind": ExceptionName}`` — a backpressure rejection additionally
+carries ``retry_after`` seconds.  The full schema is documented in
+DESIGN.md.
 
 Observability: ledger events ``job.submitted`` / ``job.started`` /
-``job.finished``, a ``job.execute`` span per job, and the store's
+``job.finished`` (plus ``job.timeout`` and the ``sched.*`` dispatch
+stream in pool mode), a ``job.execute`` span per job, and the store's
 ``store.hit`` / ``store.miss`` / ``store.put`` stream — ``repro obs
 diff`` over two reports shows exactly what a warm run reused.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import logging
 import os
 import socket
 import socketserver
@@ -56,14 +67,15 @@ from pathlib import Path
 
 from . import obs
 from .binary.image import BinaryImage
-from .core.incremental import incremental_recompile
-from .errors import ServeError
-from .opt.manager import memo_stats
+from .core.incremental import warm_stats
+from .errors import RemoteJobError, ServeError
 from .parallel import ForkPool
-from .recompile.lower import lower_cache_stats
+from .sched import JobScheduler, execute_job
 from .store import ArtifactStore, decode_runs, encode_runs, image_key
 
 __all__ = ["RecompileServer", "ServeClient", "serve_forever"]
+
+log = logging.getLogger("repro.serve")
 
 #: Protocol revision, echoed by ``ping`` so clients can detect drift.
 PROTOCOL_VERSION = 1
@@ -72,18 +84,28 @@ PROTOCOL_VERSION = 1
 MAX_REQUEST_BYTES = 64 * 1024 * 1024
 
 
+def _limit_text(limit: int) -> str:
+    if limit % (1024 * 1024) == 0:
+        return f"{limit // (1024 * 1024)} MB"
+    return f"{limit} byte"
+
+
 class RecompileServer:
     """The daemon: a threading Unix-socket server plus a job scheduler.
 
-    One instance per socket path.  Connections are handled on threads;
-    job execution is serialized on :attr:`_job_lock` (FIFO within the
-    OS's lock fairness) because the in-process caches the incremental
-    pipeline relies on are process-global.
+    One instance per socket path.  Connections are handled on threads.
+    Job execution is either serialized on :attr:`_job_lock` (default:
+    the in-process caches the incremental pipeline relies on are
+    process-global) or dispatched to a :class:`~repro.sched.
+    JobScheduler` worker pool (``workers >= 1``), where each worker
+    holds its own warm state and campaigns serialize per-name only.
     """
 
     def __init__(self, socket_path: str | Path,
                  store: ArtifactStore | str | Path | None = None,
-                 jobs: int = 1, opt_jobs: int | None = None):
+                 jobs: int = 1, opt_jobs: int | None = None,
+                 workers: int = 0, queue_depth: int | None = None,
+                 job_timeout: float | None = None):
         self.socket_path = Path(socket_path)
         if isinstance(store, ArtifactStore):
             self.store = store
@@ -91,10 +113,34 @@ class RecompileServer:
             self.store = ArtifactStore(store)
         self.jobs = max(1, int(jobs))
         self.opt_jobs = opt_jobs
-        #: Replay fork pool shared across requests (None when serial).
-        self.replay_pool = ForkPool(self.jobs) if self.jobs > 1 else None
+        self.workers = max(0, int(workers))
+        self.max_request_bytes = MAX_REQUEST_BYTES
+        if job_timeout is not None and self.workers < 1:
+            raise ServeError(
+                "a per-job wall-clock limit needs the worker pool "
+                "(use workers >= 1): an in-process job cannot be "
+                "killed mid-flight")
+        self.sched: JobScheduler | None = None
+        if self.workers >= 1:
+            try:
+                self.sched = JobScheduler(
+                    self.workers, store_root=self.store.root,
+                    jobs=self.jobs, opt_jobs=opt_jobs,
+                    max_depth=queue_depth, job_timeout=job_timeout)
+            except ValueError:
+                # No fork start method on this platform: fall back to
+                # the single-lock mode, which computes the same thing.
+                log.warning("worker pool unavailable (no fork start "
+                            "method); serving single-lock")
+                self.workers = 0
+        #: Replay fork pool shared across requests in single-lock mode
+        #: (scheduler workers each own one instead).
+        self.replay_pool = (ForkPool(self.jobs)
+                            if self.jobs > 1 and self.sched is None
+                            else None)
         self._job_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._campaign_locks: dict[str, threading.Lock] = {}
         self._job_seq = 0
         self.stats = {"jobs": 0, "served_store": 0,
                       "served_incremental": 0, "served_cold": 0,
@@ -113,6 +159,9 @@ class RecompileServer:
                 raise ServeError(
                     f"another daemon is serving {self.socket_path}")
             self.socket_path.unlink()
+        if self.sched is not None:
+            # Fork the worker pool before any handler threads exist.
+            self.sched.start()
         outer = self
 
         class Handler(socketserver.StreamRequestHandler):
@@ -141,14 +190,27 @@ class RecompileServer:
             return False
 
     def shutdown(self) -> None:
-        """Stop the accept loop (callable from handler threads)."""
+        """Stop accepting jobs, drain the scheduler, stop the accept
+        loop (callable from handler threads).  Submissions that arrive
+        during the drain are rejected with a clean error; jobs already
+        queued or running complete and their responses are written."""
         self._shutdown.set()
-        server = self._server
-        if server is not None:
-            threading.Thread(target=server.shutdown,
-                             daemon=True).start()
+
+        def _stop():
+            if self.sched is not None:
+                try:
+                    self.sched.close(drain=True)
+                except Exception:
+                    pass
+            server = self._server
+            if server is not None:
+                server.shutdown()
+
+        threading.Thread(target=_stop, daemon=True).start()
 
     def close(self) -> None:
+        if self.sched is not None:
+            self.sched.close(drain=False)
         if self.replay_pool is not None:
             self.replay_pool.close()
         try:
@@ -160,8 +222,23 @@ class RecompileServer:
 
     def _handle_connection(self, handler) -> None:
         while True:
-            line = handler.rfile.readline(MAX_REQUEST_BYTES)
+            limit = self.max_request_bytes
+            line = handler.rfile.readline(limit + 1)
             if not line:
+                return
+            if len(line) > limit:
+                # ``readline`` stopped mid-line: the request exceeds
+                # the cap and everything still in the stream is the
+                # tail of the same line, so there is no way to resync —
+                # report clearly and drop the connection.  (Without
+                # this check the truncated prefix would surface as a
+                # baffling JSONDecodeError.)
+                with self._state_lock:
+                    self.stats["errors"] += 1
+                self._respond(handler, {
+                    "ok": False, "kind": "ServeError",
+                    "error": f"request exceeds the "
+                             f"{_limit_text(limit)} limit"})
                 return
             try:
                 request = json.loads(line)
@@ -171,29 +248,42 @@ class RecompileServer:
             except Exception as exc:  # the daemon must not die
                 with self._state_lock:
                     self.stats["errors"] += 1
-                response = {"ok": False, "error": str(exc),
-                            "kind": type(exc).__name__}
-            handler.wfile.write(
-                (json.dumps(response, default=repr) + "\n").encode())
-            handler.wfile.flush()
+                response = {
+                    "ok": False, "error": str(exc),
+                    "kind": getattr(exc, "remote_kind",
+                                    type(exc).__name__)}
+                retry = getattr(exc, "retry_after", None)
+                if retry is not None:
+                    response["retry_after"] = round(retry, 1)
+            self._respond(handler, response)
             if response.get("op") == "shutdown" and response.get("ok"):
                 self.shutdown()
                 return
+
+    @staticmethod
+    def _respond(handler, response: dict) -> None:
+        handler.wfile.write(
+            (json.dumps(response, default=repr) + "\n").encode())
+        handler.wfile.flush()
 
     def dispatch(self, request: dict) -> dict:
         op = request.get("op")
         if op == "ping":
             return {"ok": True, "op": "ping", "pid": os.getpid(),
-                    "protocol": PROTOCOL_VERSION}
+                    "protocol": PROTOCOL_VERSION,
+                    "workers": self.workers}
         if op == "status":
             with self._state_lock:
                 stats = dict(self.stats)
-            return {"ok": True, "op": "status", "jobs": self.jobs,
-                    "stats": stats, "store": dict(self.store.stats),
-                    "store_root": str(self.store.root),
-                    "campaigns": self.store.list_campaigns(),
-                    "warm": {"opt": memo_stats(),
-                             "lower": lower_cache_stats()}}
+            doc = {"ok": True, "op": "status", "jobs": self.jobs,
+                   "workers": self.workers,
+                   "stats": stats, "store": dict(self.store.stats),
+                   "store_root": str(self.store.root),
+                   "campaigns": self.store.list_campaigns(),
+                   "warm": warm_stats()}
+            if self.sched is not None:
+                doc["sched"] = self.sched.snapshot()
+            return doc
         if op == "campaign":
             name = request.get("name")
             campaign = self.store.load_campaign(name) if name else None
@@ -231,7 +321,16 @@ class RecompileServer:
             self.store.put("source", key, image.to_json())
         return image, key
 
+    def _campaign_mutex(self, name: str) -> threading.Lock:
+        with self._state_lock:
+            lock = self._campaign_locks.get(name)
+            if lock is None:
+                lock = self._campaign_locks[name] = threading.Lock()
+            return lock
+
     def _submit(self, request: dict) -> dict:
+        if self._shutdown.is_set():
+            raise ServeError("daemon is shutting down; job rejected")
         with self._state_lock:
             self._job_seq += 1
             job_id = self._job_seq
@@ -241,7 +340,16 @@ class RecompileServer:
         obs.event("job.submitted", job=job_id,
                   campaign=campaign_name, inputs=len(runs))
         obs.count("serve.jobs.submitted")
-        with self._job_lock:
+        # Single-lock mode serializes whole jobs.  Pool mode only
+        # serializes same-campaign submissions (the accumulate-then-run
+        # contract needs it); distinct images run fully concurrently.
+        if self.sched is None:
+            guard = self._job_lock
+        elif campaign_name:
+            guard = self._campaign_mutex(campaign_name)
+        else:
+            guard = contextlib.nullcontext()
+        with guard:
             campaign = (self.store.load_campaign(campaign_name)
                         if campaign_name else None)
             if campaign_name and campaign is None and not runs \
@@ -260,7 +368,7 @@ class RecompileServer:
                     raise ServeError(
                         f"campaign {campaign_name!r} is bound to image "
                         f"{campaign.image_key}, got {img_key}")
-                added = campaign.add_inputs(runs)
+                campaign.add_inputs(runs)
                 # Jobs run over the accumulated set: coverage grows
                 # monotonically across submissions.
                 runs = [list(items) for items in campaign.inputs]
@@ -269,56 +377,65 @@ class RecompileServer:
                         f"campaign {campaign_name!r} has no inputs")
             if not runs:
                 raise ServeError("submit needs at least one input run")
+            spec = {
+                "op": "recompile", "job": job_id,
+                "image_key": img_key,
+                "inputs": encode_runs(runs),
+                "options": options,
+                "output": request.get("output"),
+                "return_artifact": bool(request.get("return_artifact")),
+            }
             obs.event("job.started", job=job_id, image=img_key,
                       campaign=campaign_name, inputs=len(runs))
             with obs.span("job.execute", job=job_id,
                           campaign=campaign_name or "",
                           inputs=len(runs)) as sp:
-                served = incremental_recompile(
-                    image, runs, self.store,
-                    optimize=options.get("optimize", True),
-                    check=options.get("check"),
-                    static_widen=options.get("static_widen"),
-                    hybrid=options.get("hybrid", False),
-                    jobs=self.jobs, opt_jobs=self.opt_jobs,
-                    replay_pool=self.replay_pool,
-                    collect_accuracy=options.get(
-                        "collect_accuracy", True))
+                if self.sched is None:
+                    result = execute_job(
+                        spec, self.store, jobs=self.jobs,
+                        opt_jobs=self.opt_jobs,
+                        replay_pool=self.replay_pool, image=image)
+                    result["ok"] = True
+                else:
+                    spec["image_json"] = image.to_json()
+                    result = self.sched.submit(spec)
+                    if not result.get("ok"):
+                        raise RemoteJobError(
+                            result.get("error", "job failed"),
+                            remote_kind=result.get("kind",
+                                                   "RemoteJobError"))
                 if obs.enabled():
-                    sp.set(**served.stats.to_dict())
+                    sp.set(worker=result.get("worker", -1),
+                           **result["stats"])
             with self._state_lock:
                 self.stats["jobs"] += 1
-                self.stats[f"served_{served.stats.served}"] += 1
+                self.stats[f"served_{result['served']}"] += 1
             if campaign_name:
                 campaign.jobs += 1
-                campaign.coverage = dict(served.coverage)
+                campaign.coverage = dict(result["coverage"])
                 self.store.save_campaign(campaign)
-            obs.count(f"serve.jobs.{served.stats.served}")
-        obs.event("job.finished", job=job_id,
-                  **served.stats.to_dict())
+            obs.count(f"serve.jobs.{result['served']}")
+        obs.event("job.finished", job=job_id, **result["stats"])
         response: dict = {
             "ok": True, "op": "submit", "job": job_id,
-            "served": served.stats.served,
-            "stats": served.stats.to_dict(),
-            "image_key": served.image_key,
-            "result_key": served.result_key,
-            "fallback": served.fallback,
-            "notes": list(served.notes),
-            "coverage": dict(served.coverage),
+            "served": result["served"],
+            "stats": result["stats"],
+            "image_key": result["image_key"],
+            "result_key": result["result_key"],
+            "fallback": result["fallback"],
+            "notes": result["notes"],
+            "coverage": result["coverage"],
         }
+        if result.get("worker") is not None:
+            response["worker"] = result["worker"]
         if campaign_name:
             response["campaign"] = campaign.to_dict()
-        if served.accuracy is not None:
-            response["accuracy"] = {
-                "precision": served.accuracy.precision,
-                "recall": served.accuracy.recall,
-            }
-        if request.get("output"):
-            Path(request["output"]).write_text(
-                served.recovered.to_json())
-            response["output"] = request["output"]
-        if request.get("return_artifact"):
-            response["artifact"] = served.recovered.to_json()
+        if result.get("accuracy") is not None:
+            response["accuracy"] = result["accuracy"]
+        if result.get("output"):
+            response["output"] = result["output"]
+        if result.get("artifact") is not None:
+            response["artifact"] = result["artifact"]
         return response
 
 
@@ -326,7 +443,10 @@ class ServeClient:
     """Line-delimited-JSON client for a :class:`RecompileServer`.
 
     One connection per request keeps the client trivially robust; the
-    daemon holds no per-connection state.
+    daemon holds no per-connection state.  ``timeout`` bounds the whole
+    exchange (connect, send, and the wait for the response), so a
+    wedged daemon produces a clean :class:`ServeError` instead of a
+    hang.
     """
 
     def __init__(self, socket_path: str | Path, timeout: float = 600.0):
@@ -349,6 +469,12 @@ class ServeClient:
                 if chunk.endswith(b"\n"):
                     break
             conn.close()
+        except socket.timeout as exc:
+            raise ServeError(
+                f"daemon at {self.socket_path} did not respond within "
+                f"{self.timeout:g}s — it may be wedged, or the job is "
+                f"still running (raise --timeout for long jobs)") \
+                from exc
         except OSError as exc:
             raise ServeError(
                 f"cannot reach daemon at {self.socket_path}: {exc}") \
@@ -357,9 +483,12 @@ class ServeClient:
             raise ServeError("daemon closed the connection mid-request")
         response = json.loads(b"".join(chunks))
         if not response.get("ok"):
+            hint = ""
+            if response.get("retry_after") is not None:
+                hint = f" (retry in ~{response['retry_after']:g}s)"
             raise ServeError(
                 f"{response.get('kind', 'error')}: "
-                f"{response.get('error', 'request failed')}")
+                f"{response.get('error', 'request failed')}{hint}")
         return response
 
     def ping(self) -> dict:
@@ -400,9 +529,14 @@ class ServeClient:
 def serve_forever(socket_path: str | Path,
                   store: str | Path | None = None,
                   jobs: int = 1,
-                  opt_jobs: int | None = None) -> RecompileServer:
+                  opt_jobs: int | None = None,
+                  workers: int = 0,
+                  queue_depth: int | None = None,
+                  job_timeout: float | None = None) -> RecompileServer:
     """Convenience entry: build a server and block serving requests."""
     server = RecompileServer(socket_path, store=store, jobs=jobs,
-                             opt_jobs=opt_jobs)
+                             opt_jobs=opt_jobs, workers=workers,
+                             queue_depth=queue_depth,
+                             job_timeout=job_timeout)
     server.serve_forever()
     return server

@@ -197,9 +197,9 @@ class ArtifactStore:
         if root is None:
             root = os.environ.get(self.ENV_VAR, self.DEFAULT_ROOT)
         self.root = Path(root)
-        #: In-process counts: hit / miss / put / corrupt.
+        #: In-process counts: hit / miss / put / corrupt / evicted.
         self.stats: dict[str, int] = {"hit": 0, "miss": 0, "put": 0,
-                                      "corrupt": 0}
+                                      "corrupt": 0, "evicted": 0}
         self._lock = threading.Lock()
 
     def _count(self, what: str) -> None:
@@ -241,6 +241,12 @@ class ArtifactStore:
         self._count("hit")
         obs.count(f"{self.NAMESPACE}.hit")
         obs.event("store.hit", store=self.NAMESPACE, artifact=kind, key=key)
+        try:
+            # Refresh mtime so GC's LRU order tracks last *use*, not
+            # last write.  Best-effort: a read-only store still serves.
+            os.utime(path)
+        except OSError:
+            pass
         return obj
 
     def put(self, kind: str, key: str, obj) -> None:
@@ -268,6 +274,93 @@ class ArtifactStore:
     @classmethod
     def _log(cls) -> logging.Logger:
         return log
+
+    # -- eviction / GC ---------------------------------------------------
+
+    def entries(self) -> list[tuple[str, str, Path, int, float]]:
+        """Every stored artifact as ``(kind, key, path, size, mtime)``.
+        Campaign JSONs and in-flight temp files are not artifacts and
+        are excluded."""
+        out: list[tuple[str, str, Path, int, float]] = []
+        if not self.root.is_dir():
+            return out
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir() or kind_dir.name == "campaign":
+                continue
+            for path in kind_dir.glob("*.pkl"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue    # raced an eviction or a temp cleanup
+                out.append((kind_dir.name, path.stem, path,
+                            st.st_size, st.st_mtime))
+        return out
+
+    def pinned_keys(self) -> set[tuple[str, str]]:
+        """``(kind, key)`` pairs GC must not evict: every campaign's
+        stored source image and its per-input trace records.  Evicting
+        either would break the campaign contract (resubmission without
+        re-uploading; monotone trace accumulation) — everything else,
+        results included, is recomputable from these."""
+        pinned: set[tuple[str, str]] = set()
+        for name in self.list_campaigns():
+            campaign = self.load_campaign(name)
+            if campaign is None:
+                continue
+            pinned.add(("source", campaign.image_key))
+            for items in campaign.inputs:
+                pinned.add(("trace",
+                            trace_key(campaign.image_key, items)))
+        return pinned
+
+    def gc(self, max_bytes: int, pin_campaigns: bool = True,
+           dry_run: bool = False) -> dict:
+        """Evict least-recently-used artifacts until the store fits in
+        ``max_bytes``.
+
+        LRU is by file mtime, which :meth:`get` refreshes on every hit,
+        so the order reflects last use.  Campaign-pinned entries
+        (:meth:`pinned_keys`) are skipped unless ``pin_campaigns`` is
+        False.  ``dry_run`` reports what would be evicted without
+        deleting anything (and without counters/events).  Returns a
+        summary dict; evictions are also visible as the
+        ``store.evicted`` counter and ledger event stream.
+        """
+        entries = self.entries()
+        before = sum(entry[3] for entry in entries)
+        total = before
+        pinned = self.pinned_keys() if pin_campaigns else set()
+        evicted: list[dict] = []
+        skipped_pinned = 0
+        for kind, key, path, size, _mtime in sorted(
+                entries, key=lambda entry: entry[4]):
+            if total <= max_bytes:
+                break
+            if (kind, key) in pinned:
+                skipped_pinned += 1
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    total -= size   # a racing GC already removed it
+                    continue
+                except OSError:
+                    continue
+                self._count("evicted")
+                obs.count(f"{self.NAMESPACE}.evicted")
+                obs.event("store.evicted", store=self.NAMESPACE,
+                          artifact=kind, key=key, bytes=size)
+            evicted.append({"kind": kind, "key": key, "bytes": size})
+            total -= size
+        return {"limit_bytes": int(max_bytes),
+                "before_bytes": before,
+                "after_bytes": total,
+                "evicted": len(evicted),
+                "evicted_bytes": before - total,
+                "evicted_entries": evicted,
+                "pinned_kept": skipped_pinned,
+                "dry_run": bool(dry_run)}
 
     # -- campaigns -------------------------------------------------------
 

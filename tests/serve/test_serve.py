@@ -239,3 +239,266 @@ def test_shutdown_stops_the_daemon_and_removes_socket(served):
     assert not os.path.exists(client.socket_path)
     with pytest.raises(ServeError, match="cannot reach"):
         client.ping()
+
+
+# -- request-size limit ---------------------------------------------------
+
+def test_oversized_request_gets_a_clear_error(served):
+    server, client = served
+    server.max_request_bytes = 4096
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(10)
+    conn.connect(client.socket_path)
+    conn.sendall(b'{"op": "ping", "pad": "' + b"x" * 8192 + b'"}\n')
+    raw = conn.makefile("rb").readline()
+    conn.close()
+    response = json.loads(raw)
+    assert response["ok"] is False
+    assert response["kind"] == "ServeError"
+    assert "exceeds the 4096 byte limit" in response["error"]
+    # An in-limit request on a fresh connection still works.
+    assert client.ping()["ok"]
+    assert client.status()["stats"]["errors"] == 1
+
+
+# -- client timeout -------------------------------------------------------
+
+def test_client_timeout_is_a_clean_error():
+    sockdir = tempfile.mkdtemp(prefix="repro-wedge-")
+    sock = os.path.join(sockdir, "d.sock")
+    try:
+        # A listener that accepts but never responds: a wedged daemon.
+        wedged = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        wedged.bind(sock)
+        wedged.listen(1)
+        client = ServeClient(sock, timeout=0.3)
+        with pytest.raises(ServeError,
+                           match="did not respond within 0.3s"):
+            client.ping()
+        wedged.close()
+    finally:
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+# -- worker-pool mode -----------------------------------------------------
+
+@pytest.fixture
+def pooled(tmp_path):
+    sockdir = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(sockdir, "d.sock")
+    server = RecompileServer(sock,
+                             store=ArtifactStore(tmp_path / "store"),
+                             workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    _wait_for_socket(sock)
+    client = ServeClient(sock, timeout=300)
+    try:
+        yield server, client
+    finally:
+        if not server._shutdown.is_set():
+            try:
+                client.shutdown()
+            except ServeError:
+                pass
+        thread.join(timeout=15)
+        server.close()
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+def test_pool_serves_jobs_and_reports_sched_status(pooled, image):
+    server, client = pooled
+    assert client.ping()["workers"] == 2
+    first = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                          return_artifact=True)
+    assert first["served"] == "cold"
+    assert first["worker"] in (0, 1)
+    second = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                           return_artifact=True)
+    assert second["served"] == "store"
+    assert second["worker"] == first["worker"]  # image affinity
+    assert second["artifact"] == first["artifact"]
+    status = client.status()
+    sched = status["sched"]
+    assert sched["workers"] == 2
+    assert sched["stats"]["completed"] == 2
+    assert sched["stats"]["affine"] == 2
+    worker = sched["per_worker"][first["worker"]]
+    assert worker["jobs"] == 2
+    assert worker["last_image"] == first["image_key"]
+    assert "memo_entries" in worker["warm"]["opt"]
+
+
+def test_pool_campaigns_accumulate_across_workers(pooled, image):
+    server, client = pooled
+    first = client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                          campaign="demo")
+    assert first["campaign"]["inputs"] == [[0, 7]]
+    second = client.submit(inputs=[[2, 5]], campaign="demo")
+    assert second["served"] == "incremental"
+    assert second["stats"]["traces_reused"] == 1
+    assert second["campaign"]["inputs"] == [[0, 7], [2, 5]]
+
+
+def test_pool_job_events_and_sched_events_reach_the_ledger(pooled,
+                                                           image):
+    server, client = pooled
+    led = obs.enable_ledger()
+    obs.enable(reset=True)
+    client.submit(image_json=image.to_json(), inputs=[[0, 7]])
+    kinds = [e["kind"] for e in led.events]
+    # Parent-side scheduling events and the worker's shipped pipeline
+    # events both land in the parent's in-memory ledger.
+    for kind in ("job.submitted", "job.started", "sched.dispatch",
+                 "store.put", "job.finished"):
+        assert kind in kinds, kind
+    assert obs.recorder().registry.counters["sched.dispatch"] == 1
+
+
+def test_pool_worker_errors_keep_their_kind(pooled, image):
+    server, client = pooled
+    # The job fails inside the worker process (the output path's
+    # directory does not exist); the original exception class name must
+    # survive the process hop instead of flattening to RemoteJobError.
+    with pytest.raises(ServeError, match="FileNotFoundError"):
+        client.submit(image_json=image.to_json(), inputs=[[0, 7]],
+                      output="/nonexistent-repro-dir/out.json")
+    assert client.ping()["ok"]
+    status = client.status()
+    assert status["sched"]["stats"]["failed"] == 1
+    assert status["sched"]["stats"]["respawns"] == 0  # worker survived
+
+
+SLOW_SOURCE = r"""
+int main() {
+    int n = read_int();
+    int s = 0;
+    int i = 0;
+    while (i < n) { s = s + i; i = i + 1; }
+    printf("s=%d\n", s);
+    return 0;
+}
+"""
+
+
+def test_pool_job_timeout_fails_job_and_daemon_survives(tmp_path):
+    sockdir = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(sockdir, "d.sock")
+    server = RecompileServer(sock,
+                             store=ArtifactStore(tmp_path / "store"),
+                             workers=1, job_timeout=0.4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        _wait_for_socket(sock)
+        client = ServeClient(sock, timeout=300)
+        # Tracing a 10k-iteration loop takes seconds — far past the
+        # 0.4s limit — so the deadline fires mid-job deterministically.
+        slow = compile_source(SLOW_SOURCE, "gcc12", "3", "slowjob")
+        with pytest.raises(ServeError,
+                           match="JobTimeout.*wall-clock limit"):
+            client.submit(image_json=slow.to_json(), inputs=[[10000]])
+        # The worker slot was recycled; the daemon still serves.
+        assert client.ping()["ok"]
+        status = client.status()
+        assert status["sched"]["stats"]["timeouts"] == 1
+        assert status["sched"]["stats"]["respawns"] == 1
+        client.shutdown()
+        thread.join(timeout=15)
+    finally:
+        server.close()
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+def test_job_timeout_requires_workers(tmp_path):
+    with pytest.raises(ServeError, match="needs the worker pool"):
+        RecompileServer(tmp_path / "d.sock",
+                        store=ArtifactStore(tmp_path / "store"),
+                        job_timeout=5.0)
+
+
+def test_pool_backpressure_reports_retry_hint(tmp_path, image):
+    sockdir = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(sockdir, "d.sock")
+    # A zero-depth queue rejects every submission — degenerate on
+    # purpose, to exercise the protocol's retry_after plumbing without
+    # timing-sensitive queue saturation.
+    server = RecompileServer(sock,
+                             store=ArtifactStore(tmp_path / "store"),
+                             workers=1, queue_depth=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        _wait_for_socket(sock)
+        client = ServeClient(sock, timeout=60)
+        with pytest.raises(ServeError,
+                           match=r"queue full.*retry in ~\d"):
+            client.submit(image_json=image.to_json(), inputs=[[0, 7]])
+        assert client.status()["sched"]["stats"]["rejected"] == 1
+        client.shutdown()
+        thread.join(timeout=15)
+    finally:
+        server.close()
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+def test_shutdown_drains_inflight_jobs_and_rejects_new_ones(pooled,
+                                                            image):
+    server, client = pooled
+    distinct = [image] + [
+        compile_source(SOURCE.replace("value * 2", f"value * {k}"),
+                       "gcc12", "3", f"drain{k}") for k in (7, 11)]
+    boxes = []
+
+    def submit(img):
+        box = {}
+        try:
+            box["response"] = ServeClient(
+                client.socket_path, timeout=300).submit(
+                    image_json=img.to_json(), inputs=[[0, 3]])
+        except ServeError as exc:
+            box["error"] = exc
+        boxes.append(box)
+
+    threads = [threading.Thread(target=submit, args=(img,), daemon=True)
+               for img in distinct]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.3)   # let some jobs reach the scheduler
+    client.shutdown()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert len(boxes) == 3
+    for box in boxes:
+        # Every concurrent submission either completed (drained) or was
+        # cleanly rejected — never a hang, never a torn response.
+        if "response" in box:
+            assert box["response"]["ok"]
+        else:
+            assert isinstance(box["error"], ServeError)
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline and os.path.exists(
+            client.socket_path):
+        time.sleep(0.02)
+    assert not os.path.exists(client.socket_path)
+
+
+def test_stale_socket_is_replaced_under_worker_pool(tmp_path):
+    sockdir = tempfile.mkdtemp(prefix="repro-stale-")
+    stale = os.path.join(sockdir, "d.sock")
+    try:
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(stale)
+        dead.close()   # leftover file, nobody listening
+        fresh = RecompileServer(stale,
+                                store=ArtifactStore(tmp_path / "store"),
+                                workers=2)
+        thread = threading.Thread(target=fresh.serve_forever,
+                                  daemon=True)
+        thread.start()
+        assert _wait_for_daemon(stale)["workers"] == 2
+        ServeClient(stale).shutdown()
+        thread.join(timeout=15)
+        fresh.close()
+    finally:
+        shutil.rmtree(sockdir, ignore_errors=True)

@@ -118,7 +118,8 @@ def test_round_trip_counters_and_events(tmp_path):
     assert kinds == ["store.miss", "store.put", "store.hit"]
     assert all(e["store"] == "store" for e in led.events)
     assert all(e["artifact"] == "trace" for e in led.events)
-    assert store.stats == {"hit": 1, "miss": 1, "put": 1, "corrupt": 0}
+    assert store.stats == {"hit": 1, "miss": 1, "put": 1, "corrupt": 0,
+                           "evicted": 0}
 
 
 def test_corrupt_entry_recomputes_with_warning(tmp_path, caplog):
@@ -166,6 +167,105 @@ def test_put_is_pickled_payload(tmp_path):
     store.put("trace", "k", {"x": 1})
     raw = store._path("trace", "k").read_bytes()
     assert pickle.loads(raw) == {"x": 1}
+
+
+# -- eviction / GC -------------------------------------------------------
+
+def _put_sized(store, kind, key, size, mtime):
+    """One artifact of a known on-disk size with a forced mtime."""
+    import os
+    store.put(kind, key, b"x" * size)
+    os.utime(store._path(kind, key), (mtime, mtime))
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    store = ArtifactStore(tmp_path)
+    # Three same-size entries, oldest first; sizes are pickled so read
+    # the real footprint back for the cap arithmetic.
+    for i, key in enumerate(["old", "mid", "new"]):
+        _put_sized(store, "result", key, 1000, 1000.0 + i)
+    per_entry = store._path("result", "old").stat().st_size
+    summary = store.gc(max_bytes=2 * per_entry)
+    assert [e["key"] for e in summary["evicted_entries"]] == ["old"]
+    assert not store.contains("result", "old")
+    assert store.contains("result", "mid")
+    assert store.contains("result", "new")
+    assert summary["after_bytes"] == 2 * per_entry
+    assert store.stats["evicted"] == 1
+
+
+def test_gc_hit_refreshes_lru_order(tmp_path):
+    store = ArtifactStore(tmp_path)
+    for i, key in enumerate(["a", "b"]):
+        _put_sized(store, "result", key, 1000, 1000.0 + i)
+    # Using "a" makes "b" the LRU entry despite its later write.
+    assert store.get("result", "a") is not None
+    per_entry = store._path("result", "a").stat().st_size
+    summary = store.gc(max_bytes=per_entry)
+    assert [e["key"] for e in summary["evicted_entries"]] == ["b"]
+    assert store.contains("result", "a")
+
+
+def test_gc_pins_campaign_sources_and_traces(tmp_path):
+    store = ArtifactStore(tmp_path)
+    campaign = Campaign("demo", "imgkey", inputs=[[1, 2]])
+    store.save_campaign(campaign)
+    tkey = trace_key("imgkey", [1, 2])
+    _put_sized(store, "source", "imgkey", 1000, 1000.0)
+    _put_sized(store, "trace", tkey, 1000, 1001.0)
+    _put_sized(store, "trace", "unpinned", 1000, 1002.0)
+    _put_sized(store, "result", "recomputable", 1000, 1003.0)
+    # A zero cap forces eviction of everything evictable — the
+    # campaign's source and trace must survive even though they are
+    # the oldest entries.
+    summary = store.gc(max_bytes=0)
+    assert store.contains("source", "imgkey")
+    assert store.contains("trace", tkey)
+    assert not store.contains("trace", "unpinned")
+    assert not store.contains("result", "recomputable")
+    assert summary["pinned_kept"] == 2
+    assert summary["evicted"] == 2
+    # Without pinning, campaign artifacts are fair game.
+    store.gc(max_bytes=0, pin_campaigns=False)
+    assert not store.contains("source", "imgkey")
+    assert not store.contains("trace", tkey)
+
+
+def test_gc_dry_run_deletes_nothing_and_counts_nothing(tmp_path):
+    store = ArtifactStore(tmp_path)
+    obs.enable(reset=True)
+    led = obs.enable_ledger()
+    _put_sized(store, "result", "k", 1000, 1000.0)
+    summary = store.gc(max_bytes=0, dry_run=True)
+    assert summary["dry_run"] is True
+    assert [e["key"] for e in summary["evicted_entries"]] == ["k"]
+    assert store.contains("result", "k")
+    assert store.stats["evicted"] == 0
+    assert "store.evicted" not in obs.recorder().registry.counters
+    assert all(e["kind"] != "store.evicted" for e in led.events)
+
+
+def test_gc_emits_evicted_counter_and_event(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _put_sized(store, "result", "k", 1000, 1000.0)
+    obs.enable(reset=True)
+    led = obs.enable_ledger()
+    store.gc(max_bytes=0)
+    assert obs.recorder().registry.counters["store.evicted"] == 1
+    evicted = [e for e in led.events if e["kind"] == "store.evicted"]
+    assert len(evicted) == 1
+    assert evicted[0]["artifact"] == "result"
+    assert evicted[0]["key"] == "k"
+    assert evicted[0]["bytes"] > 0
+
+
+def test_gc_noop_under_cap(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _put_sized(store, "result", "k", 100, 1000.0)
+    summary = store.gc(max_bytes=1 << 20)
+    assert summary["evicted"] == 0
+    assert summary["before_bytes"] == summary["after_bytes"]
+    assert store.contains("result", "k")
 
 
 # -- campaigns -----------------------------------------------------------

@@ -35,6 +35,12 @@
 # one-shot recompiles, and an incremental one-input addition vs the
 # cold one-shot over the full input set (trace/function reuse rates,
 # byte-identity enforced in the tests themselves).
+#
+# The scheduler benches run as a seventh pass and emit
+# BENCH_sched.json: K=4 concurrent distinct-image campaigns on the
+# multi-worker daemon vs the single-lock daemon (speedup floor scales
+# with the core count; byte identity and affinity hit rate asserted in
+# the test itself).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,6 +51,7 @@ REPLAY_OUT="${BENCH_REPLAY_JSON:-BENCH_replay.json}"
 OPT_OUT="${BENCH_OPT_JSON:-BENCH_opt.json}"
 LOWER_OUT="${BENCH_LOWER_JSON:-BENCH_lower.json}"
 SERVE_OUT="${BENCH_SERVE_JSON:-BENCH_serve.json}"
+SCHED_OUT="${BENCH_SCHED_JSON:-BENCH_sched.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -88,3 +95,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_serve.py \
     -p no:cacheprovider
 
 echo "service benchmark report written to $SERVE_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_sched.py \
+    --benchmark-only \
+    --benchmark-json "$SCHED_OUT" \
+    -p no:cacheprovider
+
+echo "scheduler benchmark report written to $SCHED_OUT"
