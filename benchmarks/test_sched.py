@@ -144,7 +144,8 @@ def test_bench_sched_concurrent_distinct_campaigns(benchmark, tmp_path):
 
         # Byte identity: worker processes and the in-process path must
         # produce the same artifact for the same image + inputs.
-        for serial_r, pool_r in zip(serial_results, pool_results):
+        for serial_r, pool_r in zip(serial_results, pool_results,
+                                    strict=True):
             assert pool_r["artifact"] == serial_r["artifact"]
             assert pool_r["result_key"] == serial_r["result_key"]
 

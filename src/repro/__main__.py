@@ -47,7 +47,7 @@ from .binary import BinaryImage
 from .cc import compile_source
 from .core import wytiwyg_lift, wytiwyg_recompile
 from .emu import run_binary, trace_binary
-from .errors import StaticCheckError
+from .errors import CheckError, StaticCheckError
 
 
 def _parse_inputs(spec: list[str]) -> list[list]:
@@ -518,6 +518,9 @@ def main(argv: list[str] | None = None) -> int:
         obs.enable_ledger(args.ledger)
     try:
         status = args.func(args)
+    except CheckError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        status = 2
     finally:
         if args.ledger:
             obs.disable_ledger()

@@ -297,7 +297,7 @@ def split_frames_statically(module: Module,
                 bounds = frame_offs + [0]
                 layout.variables = [
                     FrameVariable(lo, hi)
-                    for lo, hi in zip(bounds, bounds[1:])
+                    for lo, hi in zip(bounds, bounds[1:], strict=False)
                 ]
         for value, off in refs.items():
             fi.refs[ref_id] = (value, off)

@@ -133,7 +133,7 @@ class BinaryImage:
     def validate(self) -> None:
         """Check that sections do not overlap and the entry is in text."""
         placed = sorted(self.sections, key=lambda s: s.base)
-        for a, b in zip(placed, placed[1:]):
+        for a, b in zip(placed, placed[1:], strict=False):
             if a.end > b.base:
                 raise LinkError(f"sections {a.name} and {b.name} overlap")
         if not self.text.contains(self.entry):

@@ -246,7 +246,8 @@ class Frontend:
         self.continue_stack: list = []
 
         # Parameters land in allocas so their address can be taken.
-        for param, (name, ctype) in zip(func.params, decl.params):
+        for param, (name, ctype) in zip(func.params, decl.params,
+                                        strict=True):
             slot = self.builder.alloca(max(ctype.size, 4), ctype.align,
                                        name=name)
             self.builder.store(slot, param, 4)
@@ -489,7 +490,7 @@ class Frontend:
                         line)
                 self._copy_struct(lv.addr, rv.value, ctype)
                 return
-            for f, item in zip(ctype.fields, init):
+            for f, item in zip(ctype.fields, init, strict=False):
                 addr = b.add(lv.addr, Const(f.offset))
                 self._gen_local_init(_LV(addr, f.ctype), f.ctype, item,
                                      line)

@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..binary.image import BinaryImage
 from ..emu.tracer import TraceSet, trace_binary
-from ..errors import StaticCheckError, SymbolizeError
+from ..errors import CheckError, StaticCheckError, SymbolizeError
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..lifting.translator import lift_traces
@@ -66,6 +66,8 @@ from ..sanalysis import (
     CheckReport,
     analyze_function,
     corroborate_layouts,
+    interproc_corroborate,
+    interproc_enabled,
     sanitize_function,
 )
 from .accuracy import AccuracyReport, evaluate_accuracy
@@ -181,6 +183,11 @@ def wytiwyg_lift(traces: TraceSet,
     daemon shares one across requests); the engine then does not shut
     it down on close.
     """
+    if not traces.inputs:
+        raise CheckError(
+            "no traced inputs: the dynamic pipeline needs at least one "
+            "traced run to recover layouts (pass --input, or an empty "
+            "input list '' for an input-less program)")
     engine = ReplayEngine(traces, jobs=jobs, pool=replay_pool)
     try:
         return _lift_with_engine(engine, traces, validate, hybrid,
@@ -354,6 +361,13 @@ def _static_corroborate(module: Module,
                     fsp.set(accesses=len(access_set.accesses),
                             known_offsets=len(access_set.known_offsets))
         findings, suggestions = corroborate_layouts(accesses, layouts)
+        interproc = interproc_enabled()
+        if interproc:
+            with obs.span("sanalysis.interproc"):
+                ifindings, isuggestions = interproc_corroborate(
+                    module, layouts, accesses)
+            findings = findings + ifindings
+            suggestions = suggestions + isuggestions
         if obs.ledger() is not None:
             for finding in findings:
                 obs.event("corroborate.finding",
@@ -373,6 +387,10 @@ def _static_corroborate(module: Module,
                 # reflects what symbolization will actually use;
                 # resolved gaps drop out, anything left is real.
                 findings, _ = corroborate_layouts(accesses, layouts)
+                if interproc:
+                    ifindings, _ = interproc_corroborate(
+                        module, layouts, accesses)
+                    findings = findings + ifindings
         report.extend(findings)
         counts = _count_findings(findings)
         if observing:

@@ -230,15 +230,15 @@ def apply_widenings(layouts: dict[str, FrameLayout],
     their (now larger) variable — so it trades optimization precision
     for soundness, never correctness on traced inputs.
 
-    Returns one ``{"func", "start", "end", "applied"}`` row per
-    suggestion for the check report (``applied`` is False when the
+    Returns one ``{"func", "start", "end", "applied", "reason"}`` row
+    per suggestion for the check report (``applied`` is False when the
     layout already covered the region).
     """
     rows: list[dict] = []
     for sug in suggestions:
         layout = layouts.get(sug.func)
         row = {"func": sug.func, "start": sug.start, "end": sug.end,
-               "applied": False}
+               "applied": False, "reason": getattr(sug, "reason", "")}
         rows.append(row)
         if layout is None or sug.end <= sug.start:
             continue

@@ -202,7 +202,8 @@ class TracingRuntime:
         infos: dict[int, PointerInfo | None] = {}
         if self._pending_args:
             callsite_id, staged = self._pending_args.pop()
-            for vid, info in zip(meta["param_vids"], staged):
+            for vid, info in zip(meta["param_vids"], staged,
+                                 strict=False):
                 infos[vid] = info
             access = self.arg_accesses.get(callsite_id)
             if access is not None:
@@ -230,7 +231,7 @@ class TracingRuntime:
                     args: list[int]) -> None:
         rec = self._rec(frame)
         staged = self._pending_rets.pop() if self._pending_rets else []
-        for vid, info in zip(meta["result_vids"], staged):
+        for vid, info in zip(meta["result_vids"], staged, strict=False):
             rec.infos[vid] = info
 
     # -- pointer tracking -------------------------------------------------------

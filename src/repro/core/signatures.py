@@ -61,7 +61,7 @@ def build_signatures(runtime: TracingRuntime,
                 continue
             access = runtime.arg_accesses.get(callsite_id)
             callees = sorted(access.callees) if access is not None else []
-            for a, b in zip(callees, callees[1:]):
+            for a, b in zip(callees, callees[1:], strict=False):
                 union(a, b)
 
     final: dict[str, int] = {}

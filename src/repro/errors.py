@@ -54,6 +54,13 @@ class SymbolizeError(ReproError):
     """Raised when stack symbolization cannot be completed."""
 
 
+class CheckError(ReproError):
+    """Raised when a ``repro check`` / recompile run is asked to verify
+    an image with no usable dynamic evidence (for example zero traced
+    inputs): there is nothing to corroborate against, which is a user
+    error, not a pipeline crash."""
+
+
 class StaticCheckError(ReproError):
     """Raised when the static corroboration gate (``REPRO_CHECK``)
     refuses to hand a module to the optimizer.

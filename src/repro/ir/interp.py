@@ -367,7 +367,7 @@ class Interpreter:
             counts[func.name] = counts.get(func.name, 0) + 1
         frame = Frame(func, self._next_frame_id, sp)
         self._next_frame_id += 1
-        for param, value in zip(func.params, args):
+        for param, value in zip(func.params, args, strict=False):
             frame.values[param] = value & MASK32
         if self.shadow is not None:
             shadows = list(arg_shadows or [None] * len(args))
@@ -375,7 +375,7 @@ class Interpreter:
                                               list(args), shadows)
             if replaced is not None:
                 shadows = replaced
-            for param, sh in zip(func.params, shadows):
+            for param, sh in zip(func.params, shadows, strict=False):
                 frame.shadows[param] = sh
 
         block = func.entry
@@ -445,7 +445,7 @@ class Interpreter:
         frame = Frame(func, self._next_frame_id, sp)
         self._next_frame_id += 1
         values = frame.values
-        for param, value in zip(func.params, args):
+        for param, value in zip(func.params, args, strict=False):
             values[param] = value & MASK32
         shadow = self.shadow
         if shadow is not None:
@@ -454,7 +454,7 @@ class Interpreter:
                                          list(args), shadows)
             if replaced is not None:
                 shadows = replaced
-            for param, sh in zip(func.params, shadows):
+            for param, sh in zip(func.params, shadows, strict=False):
                 frame.shadows[param] = sh
 
         code_for = self._code_for

@@ -348,27 +348,29 @@ class Phi(Instr):
         self.blocks: list["Block"] = [b for b, _v in incomings]
 
     def incomings(self) -> list[tuple["Block", Value]]:
-        return list(zip(self.blocks, self.ops))
+        return list(zip(self.blocks, self.ops, strict=True))
 
     def add_incoming(self, block: "Block", value: Value) -> None:
         self.blocks.append(block)
         self.ops.append(value)
 
     def value_for(self, block: "Block") -> Value:
-        for b, v in zip(self.blocks, self.ops):
+        for b, v in zip(self.blocks, self.ops, strict=True):
             if b is block:
                 return v
         raise KeyError(f"phi has no incoming for block {block.name}")
 
     def remove_incoming(self, block: "Block") -> None:
-        pairs = [(b, v) for b, v in zip(self.blocks, self.ops)
+        pairs = [(b, v) for b, v in zip(self.blocks, self.ops,
+                                        strict=True)
                  if b is not block]
         self.blocks = [b for b, _ in pairs]
         self.ops = [v for _, v in pairs]
 
     def __repr__(self) -> str:
         parts = ", ".join(f"[{b.name}: {_short(v)}]"
-                          for b, v in zip(self.blocks, self.ops))
+                          for b, v in zip(self.blocks, self.ops,
+                                          strict=True))
         return f"{self._label()} = phi {parts}"
 
 

@@ -78,6 +78,10 @@ EVENT_KINDS = frozenset({
     # static corroboration / sanitizer
     "corroborate.finding",
     "sanitize.finding",
+    # interprocedural summaries / escape analysis / extern recovery
+    "sanalysis.summary",
+    "sanalysis.escape",
+    "sanalysis.extern",
     # caches
     "cache.hit",
     "cache.miss",

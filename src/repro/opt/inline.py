@@ -60,7 +60,7 @@ def _clone_instr(instr: Instr) -> Instr:
         return Intrinsic(instr.intrinsic, list(instr.ops),
                          dict(instr.meta))
     if isinstance(instr, Phi):
-        return Phi(list(zip(instr.blocks, instr.ops)))
+        return Phi(list(zip(instr.blocks, instr.ops, strict=True)))
     if isinstance(instr, Br):
         return Br(instr.target)
     if isinstance(instr, CondBr):
@@ -103,7 +103,8 @@ def inline_call(caller: Function, call: Call, callee: Function) -> None:
     # inlined several times into one caller).
     serial = caller.meta.get("inline_serial", 0)
     caller.meta["inline_serial"] = serial + 1
-    value_map: dict[Value, Value] = dict(zip(callee.params, call.args))
+    value_map: dict[Value, Value] = dict(zip(callee.params, call.args,
+                                             strict=True))
     block_map: dict[Block, Block] = {}
     for cb in callee.blocks:
         nb = Block(f"inl{serial}.{callee.name}.{cb.name}")

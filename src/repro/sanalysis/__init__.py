@@ -12,9 +12,19 @@ tracing and recompilation:
   boundary-straddling accesses are ``unsound-split`` errors, statically
   reachable but untraced bytes are ``coverage-gap`` warnings with
   widening suggestions (`REPRO_STATIC_WIDEN=1` applies them);
+* :mod:`.interproc` — whole-module corroboration: a call graph over the
+  lifted IR, bottom-up per-function summaries over SCCs to fixpoint
+  (escaping regions, derived stack-pointer parameters, callee access
+  footprints translated into caller-frame coordinates, memoized per
+  ``Function.version``), the ``escaped-split`` check (a dynamic layout
+  must not split a variable whose address flows into a callee that
+  accesses across the boundary), and EFACT-style extern-signature
+  recovery cross-checked against :mod:`repro.core.extfuncs`
+  (``REPRO_INTERPROC=0`` disables);
 * :mod:`.sanitize` — flow-sensitive lints over the symbolized IR
   (uninitialized reads, constant-offset out-of-bounds accesses,
-  escaped frame pointers cross-checked against alias analysis);
+  escaped frame pointers cross-checked against alias analysis and the
+  interprocedural escape summaries);
 * :mod:`.report` — :class:`Finding` / :class:`CheckReport`, consumed by
   the pipeline gate (``REPRO_CHECK=1`` / ``--check``), the ``python -m
   repro check`` subcommand, and the observability export
@@ -34,12 +44,24 @@ from .corroborate import (
     corroborate_function,
     corroborate_layouts,
 )
+from .interproc import (
+    FunctionSummary,
+    LocalSummary,
+    interproc_corroborate,
+    interproc_enabled,
+    local_summary,
+    recover_extern_sigs,
+    summarize_module,
+)
 from .report import CheckReport, Finding
 from .sanitize import sanitize_function, sanitize_module
 
 __all__ = [
     "AbsVal", "CheckReport", "Finding", "FrameAccessSet",
-    "StaticAccess", "WideningSuggestion", "analyze_function",
-    "analyze_module", "corroborate_function", "corroborate_layouts",
-    "sanitize_function", "sanitize_module",
+    "FunctionSummary", "LocalSummary", "StaticAccess",
+    "WideningSuggestion", "analyze_function", "analyze_module",
+    "corroborate_function", "corroborate_layouts",
+    "interproc_corroborate", "interproc_enabled", "local_summary",
+    "recover_extern_sigs", "sanitize_function", "sanitize_module",
+    "summarize_module",
 ]

@@ -22,9 +22,14 @@ UNINIT_READ = "uninit-read"
 OOB_ACCESS = "oob-access"
 ESCAPED_FRAME_POINTER = "escaped-frame-pointer"
 ALIAS_DIVERGENCE = "alias-divergence"
+#: Interprocedural kinds (call-graph summaries, extern recovery).
+ESCAPED_SPLIT = "escaped-split"
+EXTERN_DIVERGENCE = "extern-divergence"
+EXTERN_CANDIDATE = "extern-candidate"
 
 KINDS = (UNSOUND_SPLIT, COVERAGE_GAP, UNINIT_READ, OOB_ACCESS,
-         ESCAPED_FRAME_POINTER, ALIAS_DIVERGENCE)
+         ESCAPED_FRAME_POINTER, ALIAS_DIVERGENCE,
+         ESCAPED_SPLIT, EXTERN_DIVERGENCE, EXTERN_CANDIDATE)
 
 
 @dataclass

@@ -16,9 +16,21 @@ and before the optimizer, extending the structural checks of
   :class:`repro.opt.alias.AliasAnalysis` and cross-checked against it:
   an alloca this pass proves escaping that alias analysis calls private
   is an ``alias-divergence`` error (the optimizer would miscompile).
+
+A third, interprocedural corroborator rides on the same kind: the
+escape summaries of :mod:`.interproc` stash each function's escaped
+frame regions (with the call chain that pinned them) in
+``func.meta["interproc_escapes"]`` *before* symbolization; after
+symbolization those sp0-relative regions map onto allocas by the
+``sv_m<off>`` naming, and an alloca the summaries mark escaped that
+alias analysis still calls private is the same ``alias-divergence``
+error — two independent escape analyses disagreeing about the fact the
+optimizer depends on.
 """
 
 from __future__ import annotations
+
+import re
 
 from ..ir.module import Block, Function, Module
 from ..ir.values import (
@@ -192,6 +204,59 @@ def _check_escapes(func: Function, aa: AliasAnalysis,
     return findings
 
 
+_VAR_NAME_RE = re.compile(r"^sv_([mp])(\d+)$")
+
+
+def _alloca_start(alloca: Alloca) -> int | None:
+    """Invert the ``FrameVariable.name`` scheme (``sv_m84`` -> -84)."""
+    m = _VAR_NAME_RE.match(alloca.var_name or "")
+    if m is None:
+        return None
+    off = int(m.group(2))
+    return -off if m.group(1) == "m" else off
+
+
+def _check_interproc_escapes(func: Function,
+                             aa: AliasAnalysis) -> list[Finding]:
+    """Cross-check the interprocedural escape summaries against alias
+    analysis: an alloca whose sp0-region the summaries proved escaped
+    (its address flowed into a callee that dereferences it) must be in
+    ``aa.escaped`` too, or the optimizer is working from an unsound
+    no-alias fact."""
+    regions = func.meta.get("interproc_escapes") or []
+    if not regions:
+        return []
+    findings = []
+    seen = set()
+    for lo, hi, chain in regions:
+        for instr in func.instructions():
+            if not isinstance(instr, Alloca):
+                continue
+            start = _alloca_start(instr)
+            if start is None:
+                continue
+            if start >= hi or lo >= start + instr.size:
+                continue
+            if instr in aa.escaped:
+                continue
+            key = (id(instr), tuple(chain))
+            if key in seen:
+                continue
+            seen.add(key)
+            arrow = " -> ".join(chain)
+            findings.append(Finding(
+                "error", ALIAS_DIVERGENCE, func.name,
+                f"{_describe(instr)} escapes interprocedurally "
+                f"(callee footprint [{lo}, {hi}) via {arrow}) but "
+                f"alias analysis classifies it private — optimizer "
+                f"assumptions are unsound",
+                offset=lo, width=hi - lo,
+                provenance={"pass": "interproc",
+                            "variable": _describe(instr),
+                            "chain": list(chain)}))
+    return findings
+
+
 def _check_uninit(func: Function, aa: AliasAnalysis) -> list[Finding]:
     """Must-init forward dataflow over tracked (non-escaping) allocas."""
     tracked = [i for i in func.instructions()
@@ -288,6 +353,7 @@ def sanitize_function(func: Function,
     roots = _alloca_roots(func)
     findings = _check_oob(func, aa)
     findings.extend(_check_escapes(func, aa, roots))
+    findings.extend(_check_interproc_escapes(func, aa))
     findings.extend(_check_uninit(func, aa))
     return findings
 

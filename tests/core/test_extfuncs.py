@@ -1,0 +1,94 @@
+"""Unit tests for the external-function database (paper §5.3).
+
+The DB is the reference the interprocedural extern-signature recovery
+cross-checks against, so its own invariants — frozen signatures, the
+constraint vocabulary, format-string positions, the vararg set — need
+pinning in their own right.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.extfuncs import (
+    EXTERNAL_DB,
+    RET,
+    VARARG_FUNCTIONS,
+    Constraint,
+    ExtSig,
+)
+
+KNOWN_KINDS = {"ObjectSize", "ZeroTerminated", "Derive", "Clear",
+               "Copy", "FormatStr"}
+
+
+def test_db_is_keyed_by_signature_name():
+    for name, sig in EXTERNAL_DB.items():
+        assert sig.name == name
+        assert sig.nargs >= 0
+
+
+def test_signatures_are_frozen():
+    sig = EXTERNAL_DB["memcpy"]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        sig.nargs = 5
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        sig.constraints[0].kind = "Derive"
+
+
+def test_constraint_vocabulary_is_closed():
+    for sig in EXTERNAL_DB.values():
+        for c in sig.constraints:
+            assert c.kind in KNOWN_KINDS, (sig.name, c.kind)
+
+
+def test_constraint_args_reference_real_positions():
+    # Every constraint argument is either RET or a 0-based index below
+    # the signature's arity (vararg positions beyond nargs would be
+    # meaningless: they differ per call site).
+    for sig in EXTERNAL_DB.values():
+        for c in sig.constraints:
+            for pos in c.args:
+                assert pos == RET or 0 <= pos < max(sig.nargs, 1), \
+                    (sig.name, c)
+
+
+def test_format_arg_positions():
+    assert EXTERNAL_DB["printf"].format_arg == 0
+    assert EXTERNAL_DB["sprintf"].format_arg == 1
+    assert EXTERNAL_DB["puts"].format_arg is None
+    assert EXTERNAL_DB["memcpy"].format_arg is None
+
+
+def test_format_arg_returns_first_formatstr():
+    sig = ExtSig("weird", 3, vararg=True, constraints=(
+        Constraint("ZeroTerminated", (0,)),
+        Constraint("FormatStr", (2,)),
+        Constraint("FormatStr", (0,)),
+    ))
+    assert sig.format_arg == 2
+
+
+def test_vararg_set_matches_db():
+    assert VARARG_FUNCTIONS == frozenset(
+        name for name, sig in EXTERNAL_DB.items() if sig.vararg)
+    assert "printf" in VARARG_FUNCTIONS
+    assert "sprintf" in VARARG_FUNCTIONS
+    assert "puts" not in VARARG_FUNCTIONS
+
+
+def test_ret_marker_only_in_derive_positions():
+    # RET denotes "the return value"; in the current vocabulary only
+    # Derive constraints may talk about it.
+    for sig in EXTERNAL_DB.values():
+        for c in sig.constraints:
+            if RET in c.args:
+                assert c.kind == "Derive", (sig.name, c)
+
+
+def test_sigs_are_hashable_and_equal_by_value():
+    a = ExtSig("f", 2, constraints=(Constraint("Clear", (0,)),))
+    b = ExtSig("f", 2, constraints=(Constraint("Clear", (0,)),))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1

@@ -43,7 +43,7 @@ def test_variables_are_disjoint_and_sorted(population):
     layout = build_frame_layout("f", refs, rt)
     spans = [(v.start, v.end) for v in layout.variables]
     assert spans == sorted(spans)
-    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:], strict=False):
         assert e1 <= s2  # no overlap after coalescing
 
 
@@ -75,9 +75,9 @@ def test_stackvar_touch_is_monotone(touches):
     assert var.high == max(o + s for o, s in touches)
     # Bounds only ever widen.
     assert lows == sorted(lows, reverse=True) or len(set(lows)) <= len(lows)
-    for a, b in zip(lows, lows[1:]):
+    for a, b in zip(lows, lows[1:], strict=False):
         assert b <= a
-    for a, b in zip(highs, highs[1:]):
+    for a, b in zip(highs, highs[1:], strict=False):
         assert b >= a
 
 

@@ -29,7 +29,7 @@ def traced_pair(request):
 def test_run_results_byte_identical(traced_pair):
     blocks, steps = traced_pair
     assert len(blocks.results) == len(steps.results)
-    for got, want in zip(blocks.results, steps.results):
+    for got, want in zip(blocks.results, steps.results, strict=True):
         assert got.stdout == want.stdout
         assert got.exit_code == want.exit_code
         assert got.cycles == want.cycles
@@ -63,7 +63,8 @@ def test_compiled_interpreter_layouts_match_reference(monkeypatch):
     assert layouts_c == layouts_r
     assert notes_c == notes_r
     # And the refined modules behave identically on the traced inputs.
-    for items, expected in zip(traces.inputs, traces.results):
+    for items, expected in zip(traces.inputs, traces.results,
+                               strict=True):
         got_c = Interpreter(module_c, items).run()
         got_r = Interpreter(module_r, items).run()
         assert got_c.stdout == got_r.stdout == expected.stdout

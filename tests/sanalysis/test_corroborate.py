@@ -3,7 +3,7 @@
 from repro.core.layout import FrameLayout, FrameVariable, apply_widenings
 from repro.sanalysis import StaticAccess, corroborate_function
 from repro.sanalysis.absint import FrameAccessSet
-from repro.sanalysis.corroborate import _subtract
+from repro.sanalysis.corroborate import _regions, _subtract
 
 
 def access_set(accesses, func="fn_1000"):
@@ -108,7 +108,7 @@ def test_apply_widenings_grows_and_merges():
     layouts = {"f": layout_with([(-64, -52), (-48, -40)], "f")}
     rows = apply_widenings(layouts, [Suggestion("f", -64, -16)])
     assert rows == [{"func": "f", "start": -64, "end": -16,
-                     "applied": True}]
+                     "applied": True, "reason": ""}]
     assert [(v.start, v.end) for v in layouts["f"].variables] \
         == [(-64, -16)]
 
@@ -132,3 +132,48 @@ def test_apply_widenings_ignores_unknown_function():
     layouts = {"f": layout_with([(-8, -4)], "f")}
     rows = apply_widenings(layouts, [Suggestion("ghost", -32, -16)])
     assert rows[0]["applied"] is False
+
+
+def test_subtract_boundary_cases():
+    # Covered intervals entirely below the region, or only touching its
+    # lower edge, remove nothing.
+    assert _subtract(-16, 0, [(-32, -24)]) == [(-16, 0)]
+    assert _subtract(-16, 0, [(-20, -16)]) == [(-16, 0)]
+    # A covered interval crossing the upper bound is clipped to it.
+    assert _subtract(-16, 0, [(-8, 8)]) == [(-16, -8)]
+    # Swallowed entirely.
+    assert _subtract(-16, 0, [(-32, 16)]) == []
+    # Empty region.
+    assert _subtract(-8, -8, []) == []
+    # An interval behind the cursor (overlapped by its predecessor)
+    # must not resurrect already-consumed bytes.
+    assert _subtract(-16, 0, [(-16, -12), (-14, -10), (-4, 0)]) == \
+        [(-10, -4)]
+
+
+# -- region concretization ---------------------------------------------------
+
+
+def test_regions_skips_argument_side():
+    assert _regions(access_set([exact(4)]), layout_with([])) == []
+
+
+def test_regions_clips_exact_access_at_frame_top():
+    # A 4-byte access at -2 reaches into the return-address side; the
+    # frame-side region stops at 0.
+    regions = _regions(access_set([exact(-2)]), layout_with([]))
+    assert [(lo, hi) for lo, hi, _ in regions] == [(-2, 0)]
+
+
+def test_regions_clamps_derived_to_nearest_evidence():
+    # The derived access at -24 extends to the *nearest* independent
+    # offset above it — the recovered variable start at -16 — not all
+    # the way to the exact slot at -8.
+    regions = _regions(access_set([exact(-8), derived(-24)]),
+                       layout_with([(-16, -12)]))
+    assert (-24, -16) in {(lo, hi) for lo, hi, _ in regions}
+
+
+def test_regions_derived_without_neighbour_clamps_at_zero():
+    regions = _regions(access_set([derived(-24)]), layout_with([]))
+    assert [(lo, hi) for lo, hi, _ in regions] == [(-24, 0)]

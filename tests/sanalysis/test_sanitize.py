@@ -176,3 +176,60 @@ def test_function_without_allocas_is_skipped():
     f, b = fresh(params=("x",))
     b.ret([f.params[0]])
     assert sanitize_function(f) == []
+
+
+# -- interprocedural escape cross-check --------------------------------------
+
+
+def test_interproc_escape_vs_private_alloca_diverges():
+    # The interproc summaries proved [-32, -8) escapes via a callee,
+    # but nothing in the symbolized body passes the address anywhere:
+    # alias analysis calls the alloca private, which is exactly the
+    # divergence the cross-check must surface.
+    f, b = fresh()
+    a = b.alloca(12, 4, "sv_m32")
+    b.store(a, Const(1), 4)
+    v = b.load(a, 4)
+    b.ret([v])
+    f.meta["interproc_escapes"] = [[-32, -8, ["main", "fill"]]]
+    findings = sanitize_function(f)
+    assert ("error", "alias-divergence") in kinds(findings)
+    div = next(x for x in findings if x.kind == "alias-divergence")
+    assert div.provenance["chain"] == ["main", "fill"]
+    assert "main -> fill" in div.message
+    assert a.var_name in div.message
+
+
+def test_interproc_escape_agreeing_with_alias_is_clean():
+    f, b = fresh()
+    a = b.alloca(12, 4, "sv_m32")
+    b.store(a, Const(1), 4)
+    b.call_external("use", [a])   # alias analysis sees the escape too
+    b.ret([Const(0)])
+    f.meta["interproc_escapes"] = [[-32, -8, ["main", "fill"]]]
+    findings = sanitize_function(f)
+    assert "alias-divergence" not in {x.kind for x in findings}
+
+
+def test_interproc_escape_outside_every_alloca_is_ignored():
+    f, b = fresh()
+    a = b.alloca(12, 4, "sv_m32")
+    b.store(a, Const(1), 4)
+    v = b.load(a, 4)
+    b.ret([v])
+    f.meta["interproc_escapes"] = [[-100, -80, ["main", "fill"]]]
+    findings = sanitize_function(f)
+    assert "alias-divergence" not in {x.kind for x in findings}
+
+
+def test_unnamed_alloca_is_not_matched_by_region():
+    # Only sv_m/sv_p-named allocas have a known frame offset; others
+    # cannot be correlated with sp0-relative escape regions.
+    f, b = fresh()
+    a = b.alloca(12, 4, "tmp")
+    b.store(a, Const(1), 4)
+    v = b.load(a, 4)
+    b.ret([v])
+    f.meta["interproc_escapes"] = [[-32, -8, ["main", "fill"]]]
+    findings = sanitize_function(f)
+    assert "alias-divergence" not in {x.kind for x in findings}

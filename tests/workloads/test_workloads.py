@@ -27,7 +27,7 @@ def test_output_stable_across_personalities(name):
     reference = outputs(workload.compile("gcc12", "3"), workload)
     for comp, lvl in (("gcc12", "0"), ("gcc44", "3"), ("clang16", "3")):
         other = outputs(workload.compile(comp, lvl), workload)
-        for a, b in zip(reference, other):
+        for a, b in zip(reference, other, strict=True):
             assert a.stdout == b.stdout, (name, comp, lvl)
             assert a.exit_code == b.exit_code
 

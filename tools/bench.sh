@@ -41,6 +41,11 @@
 # multi-worker daemon vs the single-lock daemon (speedup floor scales
 # with the core count; byte identity and affinity hit rate asserted in
 # the test itself).
+#
+# The static-analysis benches run as an eighth pass and emit
+# BENCH_sanalysis.json: cold vs warm interprocedural summary sweeps
+# through the version-keyed cache, and the recompute count after a
+# one-function edit (exactly one; reuse rate asserted in the test).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,6 +57,7 @@ OPT_OUT="${BENCH_OPT_JSON:-BENCH_opt.json}"
 LOWER_OUT="${BENCH_LOWER_JSON:-BENCH_lower.json}"
 SERVE_OUT="${BENCH_SERVE_JSON:-BENCH_serve.json}"
 SCHED_OUT="${BENCH_SCHED_JSON:-BENCH_sched.json}"
+SANALYSIS_OUT="${BENCH_SANALYSIS_JSON:-BENCH_sanalysis.json}"
 
 # shellcheck disable=SC2086  # TARGET is intentionally word-split
 PYTHONPATH=src python -m pytest $TARGET \
@@ -102,3 +108,10 @@ PYTHONPATH=src python -m pytest benchmarks/test_sched.py \
     -p no:cacheprovider
 
 echo "scheduler benchmark report written to $SCHED_OUT"
+
+PYTHONPATH=src python -m pytest benchmarks/test_sanalysis.py \
+    --benchmark-only \
+    --benchmark-json "$SANALYSIS_OUT" \
+    -p no:cacheprovider
+
+echo "static-analysis benchmark report written to $SANALYSIS_OUT"
